@@ -1,0 +1,20 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and
+asserts its *shape* (orderings, bands, event sequences) rather than
+absolute numbers; see EXPERIMENTS.md for the paper-vs-measured record.
+Runs are deterministic, so a single round per benchmark suffices.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

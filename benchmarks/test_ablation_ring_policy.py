@@ -1,0 +1,95 @@
+"""Ablation — ring-buffer overflow policy (paper §V).
+
+The paper's future work proposes studying optimizations that "reduce
+the number of I/O events discarded at the tracing phase".  This
+ablation runs the same overload scenario under the three overflow
+policies and compares what gets lost:
+
+- ``drop-new`` (the paper's behaviour) keeps only the head of a burst,
+  going blind for its tail;
+- ``overwrite-oldest`` keeps the freshest events instead;
+- ``sample`` keeps a thinned cross-section of the burst, preserving
+  temporal coverage at the same capacity.
+"""
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel, O_CREAT, O_WRONLY
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+
+MS = 1_000_000
+#: Analysis window for temporal coverage.
+WINDOW_NS = 10 * MS
+
+
+def run_policy(policy: str, bursts: int = 20, writes_per_burst: int = 400):
+    """A bursty writer that overruns a small ring buffer."""
+    env = Environment()
+    kernel = Kernel(env, ncpus=1)
+    store = DocumentStore()
+    config = TracerConfig(ring_capacity_bytes_per_cpu=24 * 1024,
+                          ring_policy=policy,
+                          poll_interval_ns=2 * MS,
+                          parse_ns_per_event=4_000,
+                          session_name=f"policy-{policy}")
+    tracer = DIOTracer(env, kernel, store, config)
+    task = kernel.spawn_process("bursty").threads[0]
+    tracer.attach()
+
+    def main():
+        fd = yield from kernel.syscall(task, "open", path="/f",
+                                       flags=O_CREAT | O_WRONLY)
+        for _ in range(bursts):
+            for _ in range(writes_per_burst):
+                yield from kernel.syscall(task, "write", fd=fd, data=b"x")
+            yield env.timeout(WINDOW_NS)
+        yield from kernel.syscall(task, "close", fd=fd)
+        yield from tracer.shutdown()
+        return env.now
+
+    total_ns = env.run(until=env.process(main()))
+
+    hits = store.search("dio_trace", size=None)["hits"]["hits"]
+    times = sorted(h["_source"]["time"] for h in hits)
+    windows_total = total_ns // WINDOW_NS + 1
+    windows_covered = len({t // WINDOW_NS for t in times})
+    return {
+        "captured": len(hits),
+        "drop_ratio": tracer.ring.stats.drop_ratio,
+        "coverage": windows_covered / windows_total,
+        "last_event_ns": times[-1] if times else 0,
+        "total_ns": total_ns,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {policy: run_policy(policy)
+            for policy in ("drop-new", "overwrite-oldest", "sample")}
+
+
+def test_ablation_regenerate(once):
+    result = once(run_policy, "drop-new")
+    assert result["drop_ratio"] > 0
+
+
+class TestPolicyTradeoffs:
+    def test_all_policies_overloaded(self, results):
+        for policy, result in results.items():
+            assert result["drop_ratio"] > 0.1, policy
+
+    def test_sampling_preserves_temporal_coverage(self, results):
+        assert (results["sample"]["coverage"]
+                >= results["drop-new"]["coverage"])
+
+    def test_overwrite_keeps_the_freshest_events(self, results):
+        """With drop-new a burst's tail is lost; overwrite keeps it."""
+        assert (results["overwrite-oldest"]["last_event_ns"]
+                >= results["drop-new"]["last_event_ns"])
+
+    def test_capacity_is_the_binding_constraint(self, results):
+        """No policy conjures capacity: captured counts stay same order."""
+        counts = [r["captured"] for r in results.values()]
+        assert max(counts) <= 3 * min(counts)

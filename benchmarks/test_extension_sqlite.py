@@ -1,0 +1,86 @@
+"""Extension case study (paper §V) — an unfamiliar application.
+
+The paper's future work: apply DIO to applications the user does not
+know and let the traces uncover I/O issues.  This benchmark runs the
+SQLite-style embedded database in both journal modes under DIO and
+asserts that the pipeline alone (trace + detectors + comparison)
+identifies why the rollback-journal mode is slower.
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_sessions
+from repro.analysis.detectors import ShortLivedFileDetector
+from repro.apps.sqlitedb import JOURNAL_DELETE, JOURNAL_WAL, PAGE_SIZE
+from repro.backend import DocumentStore
+from repro.backend.persistence import export_session, import_session
+from repro.experiments.sqlite_case import run_both_modes
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return run_both_modes(transactions=120)
+
+
+def test_case_study_regenerate(once):
+    cases = once(run_both_modes, 120)
+    delete = cases[JOURNAL_DELETE]
+    wal = cases[JOURNAL_WAL]
+    print()
+    print(f"delete-journal: {delete.mean_commit_ns / 1e3:.1f} us/commit, "
+          f"{delete.db.stats.fsyncs} fsyncs, "
+          f"{delete.db.stats.journals_created} journal files")
+    print(f"wal           : {wal.mean_commit_ns / 1e3:.1f} us/commit, "
+          f"{wal.db.stats.fsyncs} fsyncs, "
+          f"{wal.db.stats.checkpoints} checkpoints")
+    assert wal.mean_commit_ns < delete.mean_commit_ns
+
+
+class TestDiagnosisWithoutSourceAccess:
+    def test_commit_latency_gap(self, cases):
+        assert (cases[JOURNAL_WAL].mean_commit_ns
+                < cases[JOURNAL_DELETE].mean_commit_ns * 0.7)
+
+    def test_trace_reveals_per_transaction_journal_lifecycle(self, cases):
+        delete = cases[JOURNAL_DELETE]
+        txns = delete.db.stats.transactions
+        for syscall in ("open", "unlink"):
+            count = delete.store.count("dio_trace", {"bool": {"must": [
+                {"term": {"syscall": syscall}},
+                {"term": {"session": delete.session}},
+            ]}})
+            assert count >= txns, (syscall, count)
+
+    def test_detector_flags_only_the_delete_mode(self, cases):
+        detector = ShortLivedFileDetector(min_bytes=PAGE_SIZE, min_files=1)
+        delete = cases[JOURNAL_DELETE]
+        wal = cases[JOURNAL_WAL]
+        assert detector.run(delete.store, "dio_trace", delete.session)
+        assert not detector.run(wal.store, "dio_trace", wal.session)
+
+    def test_comparison_quantifies_the_overheads(self, cases):
+        store = DocumentStore()
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            for case in cases.values():
+                path = Path(tmp) / f"{case.journal_mode}.jsonl"
+                export_session(case.store, case.session, path)
+                import_session(store, path)
+        comparison = compare_sessions(store,
+                                      cases[JOURNAL_DELETE].session,
+                                      cases[JOURNAL_WAL].session)
+        deltas = comparison.syscall_deltas
+        txns = cases[JOURNAL_DELETE].db.stats.transactions
+        # WAL removes ~one unlink and ~one fsync per transaction.
+        assert deltas.get("unlink", 0) <= -txns
+        assert deltas.get("fsync", 0) <= -txns * 0.8
+
+    def test_correlated_paths_name_the_journal(self, cases):
+        delete = cases[JOURNAL_DELETE]
+        journal_events = delete.store.count("dio_trace", {"bool": {"must": [
+            {"term": {"file_path": "/data.db-journal"}},
+            {"term": {"session": delete.session}},
+        ]}})
+        assert journal_events > 0

@@ -1,0 +1,102 @@
+"""Fig. 2 — the Fluent Bit data-loss diagnosis (§III-B).
+
+Regenerates both panels of the paper's Fig. 2: the v1.4.0 erroneous
+access pattern (2a) and the v2.0.5 corrected pattern (2b), asserting
+the exact event sequence, byte counts (26 / 16), offsets (0 / 26), and
+the data-loss outcome.
+"""
+
+import pytest
+
+from repro.analysis.patterns import find_stale_offset_resumes
+from repro.apps.fluentbit import FLUENTBIT_BUGGY, FLUENTBIT_FIXED
+from repro.experiments import run_fluentbit_case
+
+
+@pytest.fixture(scope="module")
+def fig2a():
+    return run_fluentbit_case(FLUENTBIT_BUGGY)
+
+
+@pytest.fixture(scope="module")
+def fig2b():
+    return run_fluentbit_case(FLUENTBIT_FIXED)
+
+
+def test_fig2a_regenerate(once):
+    """Benchmark the traced v1.4.0 scenario; print the Fig. 2a table."""
+    case = once(run_fluentbit_case, FLUENTBIT_BUGGY)
+    print()
+    print(case.figure2_table())
+    assert case.lost_bytes == 16
+
+
+def test_fig2b_regenerate(once):
+    """Benchmark the traced v2.0.5 scenario; print the Fig. 2b table."""
+    case = once(run_fluentbit_case, FLUENTBIT_FIXED)
+    print()
+    print(case.figure2_table())
+    assert case.lost_bytes == 0
+
+
+class TestFig2aShape:
+    def test_step1_app_writes_26_bytes_at_offset_0(self, fig2a):
+        rows = fig2a.figure2_rows()
+        write = next(r for r in rows if r["syscall"] == "write")
+        assert (write["proc_name"], write["ret"], write["offset"]) == ("app", 26, 0)
+
+    def test_step2_fluentbit_reads_full_content(self, fig2a):
+        rows = [r for r in fig2a.figure2_rows()
+                if r["proc_name"] == "fluent-bit" and r["syscall"] == "read"]
+        assert (rows[0]["ret"], rows[0]["offset"]) == (26, 0)
+        assert (rows[1]["ret"], rows[1]["offset"]) == (0, 26)
+
+    def test_step5_stale_resume_reads_zero_at_offset_26(self, fig2a):
+        rows = [r for r in fig2a.figure2_rows()
+                if r["proc_name"] == "fluent-bit"]
+        lseek = next(r for r in rows if r["syscall"] == "lseek")
+        assert lseek["ret"] == 26
+        final_read = [r for r in rows if r["syscall"] == "read"][-1]
+        assert final_read["ret"] == 0
+        assert final_read["offset"] == 26
+
+    def test_sixteen_bytes_lost(self, fig2a):
+        assert fig2a.delivered_bytes == 26
+        assert fig2a.lost_bytes == 16
+
+    def test_detector_flags_the_loss(self, fig2a):
+        findings = find_stale_offset_resumes(fig2a.store, "dio_trace")
+        assert len(findings) == 1
+        assert findings[0].offset == 26
+        assert findings[0].file_path == "/app.log"
+
+    def test_inode_number_reused_across_tags(self, fig2a):
+        tags = {r["file_tag"] for r in fig2a.figure2_rows()
+                if r.get("file_tag")}
+        assert len(tags) == 2
+        assert len({tag.split()[1] for tag in tags}) == 1
+
+
+class TestFig2bShape:
+    def test_new_file_read_from_offset_0(self, fig2b):
+        rows = [r for r in fig2b.figure2_rows()
+                if r["proc_name"] == "flb-pipeline"]
+        read16 = next(r for r in rows
+                      if r["syscall"] == "read" and r["ret"] == 16)
+        assert read16["offset"] == 0
+
+    def test_no_stale_lseek(self, fig2b):
+        rows = fig2b.figure2_rows()
+        assert all(r["syscall"] != "lseek" for r in rows)
+
+    def test_no_data_lost(self, fig2b):
+        assert fig2b.delivered_bytes == 42
+        assert find_stale_offset_resumes(fig2b.store, "dio_trace") == []
+
+    def test_steps_1_to_4_identical_to_buggy(self, fig2a, fig2b):
+        def normalize(case):
+            return [(r["proc_name"].replace("flb-pipeline", "fluent-bit"),
+                     r["syscall"], r["ret"], r.get("offset"))
+                    for r in case.figure2_rows()][:11]
+
+        assert normalize(fig2a) == normalize(fig2b)

@@ -1,0 +1,123 @@
+"""Fig. 3 + Fig. 4 — RocksDB tail latency and its root cause (§III-C).
+
+One traced db_bench run (8 clients, YCSB-A, 1 flush + 7 compaction
+threads) regenerates both figures:
+
+- Fig. 3: the 99th-percentile client latency over time shows spikes of
+  several times the baseline;
+- Fig. 4: syscalls aggregated by thread name show that spike windows
+  coincide with >= 5 active compaction threads and depressed client
+  syscall rates, while calm windows have 1–2 active compaction threads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import (active_compaction_threads,
+                                       detect_contention)
+from repro.analysis.latency import percentile_series, spikes
+from repro.experiments import run_rocksdb_case
+from repro.experiments.rocksdb_case import RocksDBScale
+
+SECOND = 1_000_000_000
+#: Analysis window, as in the paper's time-series figures.
+WINDOW_NS = 100_000_000
+
+
+def run_case():
+    return run_rocksdb_case(RocksDBScale(duration_ns=int(1.6 * SECOND)))
+
+
+@pytest.fixture(scope="module")
+def case():
+    return run_case()
+
+
+@pytest.fixture(scope="module")
+def p99(case):
+    return percentile_series(case.bench.records(), WINDOW_NS)
+
+
+def test_fig3_fig4_regenerate(once):
+    """Benchmark the traced run; print both figures."""
+    case = once(run_case)
+    print()
+    print("Fig. 3 — p99 client latency over time (db_bench data)")
+    print(case.dashboards.latency_timeline(case.bench.records(), WINDOW_NS))
+    print()
+    print("Fig. 4 — syscalls by thread name over time (DIO trace)")
+    print(case.dashboards.syscalls_over_time_chart(WINDOW_NS))
+    assert case.bench.op_count > 10_000
+
+
+class TestFig3Shape:
+    # The calm-regime baseline: the 25th percentile of window p99s.
+    # (The median can fall between regimes when roughly half of the
+    # windows are contended, as in the paper's Fig. 3 sample.)
+
+    def test_latency_spikes_exist(self, p99):
+        values = np.array([point.value_ns for point in p99])
+        baseline = np.percentile(values, 25)
+        spiky = spikes(p99, threshold_ns=2.5 * baseline)
+        assert len(spiky) >= 2, "expected multiple p99 spikes"
+
+    def test_spikes_are_several_times_baseline(self, p99):
+        values = np.array([point.value_ns for point in p99])
+        assert values.max() > 3 * np.percentile(values, 25)
+
+    def test_baseline_and_spike_scale(self, p99):
+        """Sub-ms baseline, millisecond-scale spikes (paper: 1.5-3.5 ms)."""
+        values = np.array([point.value_ns for point in p99])
+        assert np.percentile(values, 25) < 1_000_000
+        assert values.max() > 1_000_000
+
+
+class TestFig4Shape:
+    def test_five_plus_compaction_threads_in_spike_windows(self, case, p99):
+        active = active_compaction_threads(case.store, "dio_trace",
+                                           WINDOW_NS, session=case.session)
+        values = np.array([point.value_ns for point in p99])
+        threshold = 2.5 * np.percentile(values, 25)
+        spike_windows = [point.window_start_ns for point in p99
+                         if point.value_ns > threshold]
+        assert spike_windows
+        busy = [w for w in spike_windows if active.get(w, 0) >= 5]
+        assert len(busy) >= len(spike_windows) // 2, (
+            f"{len(busy)}/{len(spike_windows)} spike windows had >=5 "
+            "active compaction threads")
+
+    def test_calm_windows_have_few_compaction_threads(self, case, p99):
+        active = active_compaction_threads(case.store, "dio_trace",
+                                           WINDOW_NS, session=case.session)
+        values = np.array([point.value_ns for point in p99])
+        calm = [point.window_start_ns for point in p99
+                if point.value_ns < np.median(values)]
+        few = [w for w in calm if active.get(w, 0) <= 2]
+        assert few, "expected calm windows with 1-2 compaction threads"
+
+    def test_client_syscall_rate_drops_under_contention(self, case):
+        report = detect_contention(case.store, "dio_trace", WINDOW_NS,
+                                   min_compaction_threads=5,
+                                   session=case.session)
+        assert report.contended_windows, "no contended windows found"
+        assert report.calm_windows, "no calm windows found"
+        assert report.client_slowdown > 1.1, (
+            f"client rate should drop under contention "
+            f"(slowdown={report.client_slowdown:.2f})")
+
+    def test_latency_correlates_with_compaction_concurrency(self, case, p99):
+        active = active_compaction_threads(case.store, "dio_trace",
+                                           WINDOW_NS, session=case.session)
+        values = np.array([point.value_ns for point in p99], dtype=float)
+        concurrency = np.array([active.get(point.window_start_ns, 0)
+                                for point in p99], dtype=float)
+        correlation = np.corrcoef(values, concurrency)[0, 1]
+        assert correlation > 0.4, f"corr(p99, active compactions)={correlation:.2f}"
+
+    def test_all_thread_kinds_visible_in_trace(self, case):
+        data = case.dashboards.syscalls_over_time(WINDOW_NS)
+        threads = {name for counts in data.values() for name in counts}
+        assert "db_bench" in threads
+        assert "rocksdb:high0" in threads
+        low = {t for t in threads if t.startswith("rocksdb:low")}
+        assert len(low) >= 5

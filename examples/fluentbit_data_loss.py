@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""§III-B walkthrough: diagnosing Fluent Bit's data loss with DIO.
+
+Reproduces the paper's Fig. 2 end to end, for both the buggy (v1.4.0)
+and the fixed (v2.0.5) tail plugin, and runs the automated
+stale-offset detector over the trace.
+
+Run with::
+
+    python examples/fluentbit_data_loss.py
+"""
+
+from repro.analysis.patterns import find_stale_offset_resumes
+from repro.apps.fluentbit import FLUENTBIT_BUGGY, FLUENTBIT_FIXED
+from repro.experiments import run_fluentbit_case
+
+
+def show(version, title):
+    case = run_fluentbit_case(version)
+    print(f"=== {title} (Fluent Bit {version}) ===\n")
+    print(case.figure2_table())
+    print()
+    print(f"client wrote  : {case.written_bytes} bytes "
+          f"(26 then, after delete/recreate, 16)")
+    print(f"flb delivered : {case.delivered_bytes} bytes")
+    print(f"data lost     : {case.lost_bytes} bytes")
+
+    findings = find_stale_offset_resumes(case.store, "dio_trace")
+    if findings:
+        f = findings[0]
+        print(f"\nDIAGNOSIS: {f.proc_name} resumed reading "
+              f"{f.file_path or f.file_tag} at stale offset {f.offset} on "
+              f"a freshly created file -> the new content was skipped.")
+        print("Root cause (paper §III-B): the tail plugin's offset database")
+        print("is keyed by (file name, inode number) and entries are never")
+        print("deleted; when the filesystem recycles the inode number for a")
+        print("new file with the same name, the stale offset is applied.")
+    else:
+        print("\nNo stale-offset resumes detected: every byte was read from")
+        print("offset 0 of the new file.")
+    print()
+
+
+def main():
+    show(FLUENTBIT_BUGGY, "Fig. 2a — erroneous access pattern")
+    show(FLUENTBIT_FIXED, "Fig. 2b — corrected access pattern")
+    print("Note how the file tag (dev inode first-access-timestamp) lets")
+    print("DIO tell the two same-name, same-inode files apart — the key")
+    print("piece of enrichment behind this diagnosis.")
+
+
+if __name__ == "__main__":
+    main()

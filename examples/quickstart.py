@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: trace an application with DIO and explore the events.
+
+Builds the full pipeline by hand — simulated kernel, DIO tracer,
+backend, visualizer — runs a tiny application against it, and shows
+the three things DIO gives you on top of plain syscall tracing:
+
+1. every syscall as a structured, queryable event,
+2. kernel-context enrichment (process name, file type, offset, file tag),
+3. file-path correlation for fd-based syscalls.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel, O_CREAT, O_RDWR, SEEK_SET
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+from repro.visualizer import DIODashboards
+
+
+def application(kernel, task):
+    """A small program: write a file, read it back, rename it."""
+    fd = yield from kernel.syscall(task, "open", path="/notes.txt",
+                                   flags=O_CREAT | O_RDWR)
+    yield from kernel.syscall(task, "write", fd=fd, data=b"hello, DIO!\n")
+    yield from kernel.syscall(task, "lseek", fd=fd, offset=0, whence=SEEK_SET)
+    buf = bytearray(64)
+    n = yield from kernel.syscall(task, "read", fd=fd, buf=buf)
+    print(f"application read back: {bytes(buf[:n])!r}")
+    yield from kernel.syscall(task, "fsync", fd=fd)
+    yield from kernel.syscall(task, "close", fd=fd)
+    yield from kernel.syscall(task, "rename", oldpath="/notes.txt",
+                              newpath="/notes.bak")
+
+
+def main():
+    # 1. The substrate: a virtual-time kernel and an analysis backend.
+    env = Environment()
+    kernel = Kernel(env)
+    store = DocumentStore()
+
+    # 2. Configure and attach the tracer (defaults trace all 42 syscalls).
+    config = TracerConfig(session_name="quickstart")
+    tracer = DIOTracer(env, kernel, store, config)
+    tracer.attach()
+
+    # 3. Run the application to completion, then drain the tracer.
+    task = kernel.spawn_process("quickstart-app").threads[0]
+
+    def scenario():
+        yield from application(kernel, task)
+        yield from tracer.shutdown()
+
+    env.run(until=env.process(scenario()))
+
+    # 4. Explore the trace.
+    dashboards = DIODashboards(store, session="quickstart")
+    print()
+    print("--- all traced events (Fig. 2-style table) ---")
+    print(dashboards.file_access_table())
+    print()
+    print("--- events per syscall ---")
+    print(dashboards.syscall_summary())
+    print()
+
+    # 5. Ad-hoc querying, Elasticsearch-style.
+    response = store.search(
+        "dio_trace",
+        query={"bool": {"must": [
+            {"term": {"syscall": "write"}},
+            {"range": {"ret": {"gt": 0}}},
+        ]}})
+    for hit in response["hits"]["hits"]:
+        event = hit["_source"]
+        print(f"write of {event['ret']} bytes at offset {event['offset']} "
+              f"to {event['file_path']} (file type: {event['file_type']})")
+
+    stats = tracer.stats.as_dict()
+    print(f"\ntracer: {stats['shipped']} events shipped in "
+          f"{stats['batches']} batches, {stats['dropped']} dropped")
+
+
+if __name__ == "__main__":
+    main()

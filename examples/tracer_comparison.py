@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Table II walkthrough: what tracing costs, and what you get for it.
+
+Runs the identical db_bench operation budget under four deployments —
+no tracing, Sysdig, DIO, strace — and prints the execution times,
+overhead factors, and reporting fidelity, reproducing the trade-off
+the paper measures: strace sees everything but slows the application
+down badly; Sysdig is nearly free but loses file paths for a large
+fraction of events; DIO sits in between, with (almost) full fidelity.
+
+Run with::
+
+    python examples/tracer_comparison.py
+"""
+
+from repro.experiments import run_overhead_comparison
+from repro.visualizer import render_table
+
+
+def main():
+    print("running the same workload under vanilla / sysdig / dio / strace")
+    print("(8 client threads, fixed operation budget)...\n")
+    result = run_overhead_comparison(ops_per_thread=6_000)
+
+    print(render_table(
+        ["deployment", "execution time", "overhead",
+         "events w/o file path", "ring discards"],
+        result.table2_rows()))
+    print()
+
+    dio = result.runs["dio"]
+    sysdig = result.runs["sysdig"]
+    print(f"DIO cost: {result.overhead('dio'):.2f}x execution time "
+          f"(paper: 1.37x)")
+    print(f"strace cost: {result.overhead('strace'):.2f}x (paper: 1.71x) — "
+          "the ptrace stop+context-switch tax on every syscall")
+    print(f"sysdig cost: {result.overhead('sysdig'):.2f}x (paper: 1.04x), "
+          f"but {sysdig.path_miss_ratio * 100:.0f}% of its events have no "
+          f"file path (paper: 45%)")
+    print(f"DIO resolves paths for "
+          f"{(1 - dio.path_miss_ratio) * 100:.1f}% of events while "
+          f"discarding {dio.drop_ratio * 100:.2f}% at the ring buffer "
+          "(paper: <=5% unresolved, 3.5% discarded)")
+
+
+if __name__ == "__main__":
+    main()

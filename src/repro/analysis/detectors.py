@@ -1,0 +1,340 @@
+"""A library of automated I/O-misbehaviour detectors (paper §V).
+
+The paper's future-work section proposes building *"a collection of
+correlation algorithms that can quickly identify the inefficient
+behaviors observed in the aforementioned applications"*.  This module
+is that collection: each detector runs a correlation over the traced
+events of one session and reports :class:`Finding` objects.
+
+Detectors cover the three problem classes of the paper's introduction:
+costly access patterns (small/random I/O, short-lived file churn),
+I/O contention, and erroneous usage (stale offsets, failed syscalls,
+descriptor leaks).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+from repro.analysis.contention import detect_contention
+from repro.analysis.patterns import (classify_file_accesses,
+                                     find_stale_offset_resumes)
+from repro.backend.store import DocumentStore
+from repro.kernel.errno import Errno
+
+
+class Finding(NamedTuple):
+    """One detected issue."""
+
+    detector: str
+    severity: str  # "info" | "warning" | "critical"
+    title: str
+    details: dict
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.detector}: {self.title}"
+
+
+class Detector:
+    """Base class: a named correlation over one session's events."""
+
+    #: Unique detector name (kebab-case).
+    name = "detector"
+    #: One-line description shown in reports.
+    description = ""
+
+    def run(self, store: DocumentStore, index: str,
+            session: Optional[str] = None) -> list[Finding]:
+        """Return findings for ``session`` (or the whole index)."""
+        raise NotImplementedError
+
+    def _session_query(self, session: Optional[str],
+                       extra: Optional[list] = None) -> dict:
+        must: list = list(extra or [])
+        if session:
+            must.append({"term": {"session": session}})
+        return {"bool": {"must": must}} if must else {"match_all": {}}
+
+
+class StaleOffsetDetector(Detector):
+    """The §III-B data-loss signature: resume at a stale offset."""
+
+    name = "stale-offset-resume"
+    description = ("first read of a fresh file starts past offset 0 and "
+                   "returns no data: a stale position was applied")
+
+    def run(self, store, index, session=None):
+        findings = []
+        for resume in find_stale_offset_resumes(store, index, session):
+            findings.append(Finding(
+                detector=self.name,
+                severity="critical",
+                title=(f"{resume.proc_name} resumed "
+                       f"{resume.file_path or resume.file_tag} at stale "
+                       f"offset {resume.offset}; content before EOF was "
+                       "never read (possible data loss)"),
+                details={"file_tag": resume.file_tag,
+                         "file_path": resume.file_path,
+                         "offset": resume.offset,
+                         "time": resume.time},
+            ))
+        return findings
+
+
+class SmallIODetector(Detector):
+    """Costly access pattern: many small requests (paper §I)."""
+
+    name = "small-io"
+    description = "files accessed with many requests far below block size"
+
+    def __init__(self, threshold_bytes: int = 4096, min_requests: int = 16):
+        self.threshold_bytes = threshold_bytes
+        self.min_requests = min_requests
+
+    def run(self, store, index, session=None):
+        findings = []
+        for pattern in classify_file_accesses(store, index, session):
+            requests = pattern.reads + pattern.writes
+            if requests < self.min_requests:
+                continue
+            relevant = (pattern.mean_read_bytes if pattern.reads >= pattern.writes
+                        else pattern.mean_request_bytes)
+            if 0 < relevant < self.threshold_bytes / 4:
+                findings.append(Finding(
+                    detector=self.name,
+                    severity="warning",
+                    title=(f"{pattern.file_path or pattern.file_tag}: "
+                           f"{requests} requests averaging "
+                           f"{relevant:.0f} B — consider batching"),
+                    details={"file_tag": pattern.file_tag,
+                             "requests": requests,
+                             "mean_bytes": relevant},
+                ))
+        return findings
+
+
+class RandomAccessDetector(Detector):
+    """Costly access pattern: random file access (paper §I)."""
+
+    name = "random-access"
+    description = "read-heavy files accessed at scattered offsets"
+
+    def __init__(self, max_sequential_fraction: float = 0.25,
+                 min_reads: int = 16):
+        self.max_sequential_fraction = max_sequential_fraction
+        self.min_reads = min_reads
+
+    def run(self, store, index, session=None):
+        findings = []
+        for pattern in classify_file_accesses(store, index, session):
+            if (pattern.reads >= self.min_reads
+                    and pattern.sequential_fraction
+                    <= self.max_sequential_fraction):
+                findings.append(Finding(
+                    detector=self.name,
+                    severity="info",
+                    title=(f"{pattern.file_path or pattern.file_tag}: "
+                           f"{pattern.reads} reads, only "
+                           f"{pattern.sequential_fraction * 100:.0f}% "
+                           "sequential"),
+                    details={"file_tag": pattern.file_tag,
+                             "reads": pattern.reads,
+                             "sequential_fraction":
+                                 pattern.sequential_fraction},
+                ))
+        return findings
+
+
+class FailedSyscallDetector(Detector):
+    """Erroneous usage: clusters of failing syscalls."""
+
+    name = "failed-syscalls"
+    description = "repeated syscall failures grouped by (syscall, errno)"
+
+    def __init__(self, min_failures: int = 3):
+        self.min_failures = min_failures
+
+    def run(self, store, index, session=None):
+        query = self._session_query(session,
+                                    [{"range": {"ret": {"lt": 0}}}])
+        response = store.search(index, query=query, size=None)
+        clusters: dict[tuple[str, int], int] = {}
+        for hit in response["hits"]["hits"]:
+            source = hit["_source"]
+            key = (source["syscall"], -source["ret"])
+            clusters[key] = clusters.get(key, 0) + 1
+        findings = []
+        for (syscall, errno_value), count in sorted(clusters.items()):
+            if count < self.min_failures:
+                continue
+            try:
+                errno_name = Errno(errno_value).name
+            except ValueError:
+                errno_name = str(errno_value)
+            findings.append(Finding(
+                detector=self.name,
+                severity="warning",
+                title=f"{syscall} failed with {errno_name} {count} times",
+                details={"syscall": syscall, "errno": errno_name,
+                         "count": count},
+            ))
+        return findings
+
+
+class FdLeakDetector(Detector):
+    """Erroneous usage: opened descriptors never closed."""
+
+    name = "fd-leak"
+    description = "processes whose open count far exceeds their closes"
+
+    def __init__(self, min_unclosed: int = 4):
+        self.min_unclosed = min_unclosed
+
+    def run(self, store, index, session=None):
+        response = store.search(
+            index,
+            query=self._session_query(
+                session,
+                [{"terms": {"syscall": ["open", "openat", "creat", "close"]}},
+                 {"range": {"ret": {"gte": 0}}}]),
+            size=0,
+            aggs={"by_pid": {
+                "terms": {"field": "pid", "size": 500},
+                "aggs": {"by_syscall": {"terms": {"field": "syscall",
+                                                  "size": 10}}},
+            }})
+        findings = []
+        for bucket in response["aggregations"]["by_pid"]["buckets"]:
+            counts = {b["key"]: b["doc_count"]
+                      for b in bucket["by_syscall"]["buckets"]}
+            opens = sum(counts.get(s, 0)
+                        for s in ("open", "openat", "creat"))
+            closes = counts.get("close", 0)
+            if opens - closes >= self.min_unclosed:
+                findings.append(Finding(
+                    detector=self.name,
+                    severity="warning",
+                    title=(f"pid {bucket['key']}: {opens} opens vs "
+                           f"{closes} closes "
+                           f"({opens - closes} descriptors left open)"),
+                    details={"pid": bucket["key"], "opens": opens,
+                             "closes": closes},
+                ))
+        return findings
+
+
+class ShortLivedFileDetector(Detector):
+    """Costly pattern: files written then deleted within the session."""
+
+    name = "short-lived-files"
+    description = "significant bytes written into files deleted in-session"
+
+    def __init__(self, min_bytes: int = 64 * 1024, min_files: int = 3):
+        self.min_bytes = min_bytes
+        self.min_files = min_files
+
+    def run(self, store, index, session=None):
+        unlinked = store.search(
+            index,
+            query=self._session_query(
+                session, [{"terms": {"syscall": ["unlink", "unlinkat"]}},
+                          {"term": {"ret": 0}}]),
+            size=None)
+        deleted_paths = {hit["_source"].get("args", {}).get("path")
+                         for hit in unlinked["hits"]["hits"]}
+        deleted_paths.discard(None)
+        if not deleted_paths:
+            return []
+
+        writes = store.search(
+            index,
+            query=self._session_query(
+                session,
+                [{"terms": {"syscall": ["write", "pwrite64", "writev"]}},
+                 {"exists": {"field": "file_path"}},
+                 {"range": {"ret": {"gt": 0}}}]),
+            size=None)
+        churn: dict[str, int] = {}
+        for hit in writes["hits"]["hits"]:
+            source = hit["_source"]
+            path = source["file_path"]
+            if path in deleted_paths:
+                churn[path] = churn.get(path, 0) + source["ret"]
+        heavy = {path: total for path, total in churn.items()
+                 if total >= self.min_bytes}
+        if len(heavy) < self.min_files:
+            return []
+        total = sum(heavy.values())
+        return [Finding(
+            detector=self.name,
+            severity="info",
+            title=(f"{len(heavy)} files totalling {total:,} written bytes "
+                   "were deleted within the session (write churn)"),
+            details={"files": len(heavy), "bytes": total},
+        )]
+
+
+class ContentionDetector(Detector):
+    """The §III-C phenomenon: background I/O starving clients."""
+
+    name = "io-contention"
+    description = ("windows with many concurrent background I/O threads "
+                   "coincide with depressed client syscall rates")
+
+    def __init__(self, window_ns: int = 100_000_000,
+                 min_threads: int = 5, min_slowdown: float = 1.1,
+                 client_comm: str = "db_bench",
+                 background_prefix: str = "rocksdb:low"):
+        self.window_ns = window_ns
+        self.min_threads = min_threads
+        self.min_slowdown = min_slowdown
+        self.client_comm = client_comm
+        self.background_prefix = background_prefix
+
+    def run(self, store, index, session=None):
+        report = detect_contention(store, index, self.window_ns,
+                                   min_compaction_threads=self.min_threads,
+                                   client_comm=self.client_comm,
+                                   session=session)
+        if not report.contended_windows or not report.calm_windows:
+            return []
+        if report.client_slowdown < self.min_slowdown:
+            return []
+        return [Finding(
+            detector=self.name,
+            severity="warning",
+            title=(f"{len(report.contended_windows)} windows with >= "
+                   f"{self.min_threads} {self.background_prefix}* threads; "
+                   f"client syscall rate drops "
+                   f"{report.client_slowdown:.2f}x there"),
+            details={"contended_windows": len(report.contended_windows),
+                     "calm_windows": len(report.calm_windows),
+                     "client_slowdown": report.client_slowdown},
+        )]
+
+
+#: The default detector battery, in reporting order.
+DEFAULT_DETECTORS: tuple[Detector, ...] = (
+    StaleOffsetDetector(),
+    FailedSyscallDetector(),
+    FdLeakDetector(),
+    SmallIODetector(),
+    RandomAccessDetector(),
+    ShortLivedFileDetector(),
+    ContentionDetector(),
+)
+
+_SEVERITY_ORDER = {"critical": 0, "warning": 1, "info": 2}
+
+
+def run_detectors(store: DocumentStore, index: str = "dio_trace",
+                  session: Optional[str] = None,
+                  detectors: Sequence[Detector] = DEFAULT_DETECTORS
+                  ) -> list[Finding]:
+    """Run a battery of detectors; findings sorted by severity."""
+    findings: list[Finding] = []
+    for detector in detectors:
+        findings.extend(detector.run(store, index, session))
+    findings.sort(key=lambda f: (_SEVERITY_ORDER.get(f.severity, 9),
+                                 f.detector, f.title))
+    return findings

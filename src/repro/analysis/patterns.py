@@ -1,0 +1,150 @@
+"""I/O access-pattern classifiers over traced events.
+
+Implements the automated correlation algorithms the paper's Future
+Directions section calls for: detectors that flag the inefficient or
+erroneous behaviors DIO exposes, directly over backend documents.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.backend.store import DocumentStore
+
+#: Syscalls that read file data.
+_READS = ("read", "pread64", "readv")
+#: Syscalls that write file data.
+_WRITES = ("write", "pwrite64", "writev")
+
+
+class AccessPattern(NamedTuple):
+    """Per-file access characterization."""
+
+    file_tag: str
+    file_path: Optional[str]
+    reads: int
+    writes: int
+    sequential_fraction: float
+    mean_request_bytes: float
+    #: Mean over read requests only; a single large write must not
+    #: mask a small-read pattern.
+    mean_read_bytes: float
+
+
+def _data_events(store: DocumentStore, index: str,
+                 session: Optional[str] = None) -> list[dict]:
+    query: dict = {"bool": {"must": [
+        {"terms": {"syscall": list(_READS + _WRITES)}},
+        {"exists": {"field": "file_tag"}},
+    ]}}
+    if session:
+        query["bool"]["must"].append({"term": {"session": session}})
+    response = store.search(index, query=query, sort=["time"], size=None)
+    return [hit["_source"] for hit in response["hits"]["hits"]]
+
+
+def classify_file_accesses(store: DocumentStore, index: str,
+                           session: Optional[str] = None) -> list[AccessPattern]:
+    """Characterize each file's access pattern from its data syscalls.
+
+    An access is *sequential* when it starts exactly where the previous
+    access on the same file ended.
+    """
+    per_file: dict[str, list[dict]] = {}
+    for event in _data_events(store, index, session):
+        per_file.setdefault(event["file_tag"], []).append(event)
+
+    patterns = []
+    for tag, events in sorted(per_file.items()):
+        reads = sum(1 for e in events if e["syscall"] in _READS)
+        writes = len(events) - reads
+        sizes = [max(e["ret"], 0) for e in events]
+        read_sizes = [max(e["ret"], 0) for e in events
+                      if e["syscall"] in _READS]
+        sequential = 0
+        considered = 0
+        expected: Optional[int] = None
+        for event in events:
+            offset = event.get("offset")
+            if offset is None:
+                continue
+            if expected is not None:
+                considered += 1
+                if offset == expected:
+                    sequential += 1
+            expected = offset + max(event["ret"], 0)
+        patterns.append(AccessPattern(
+            file_tag=tag,
+            file_path=events[0].get("file_path"),
+            reads=reads,
+            writes=writes,
+            sequential_fraction=(sequential / considered) if considered else 1.0,
+            mean_request_bytes=(sum(sizes) / len(sizes)) if sizes else 0.0,
+            mean_read_bytes=(sum(read_sizes) / len(read_sizes)
+                             if read_sizes else 0.0),
+        ))
+    return patterns
+
+
+def small_io_files(store: DocumentStore, index: str,
+                   threshold_bytes: int = 4096,
+                   min_requests: int = 8,
+                   session: Optional[str] = None) -> list[AccessPattern]:
+    """Files accessed with many small requests — a costly pattern (§I).
+
+    Flagged when either the overall or the read-only mean request size
+    falls under ``threshold_bytes``.
+    """
+    return [pattern
+            for pattern in classify_file_accesses(store, index, session)
+            if (pattern.reads + pattern.writes) >= min_requests
+            and (pattern.mean_request_bytes < threshold_bytes
+                 or (pattern.reads >= min_requests
+                     and pattern.mean_read_bytes < threshold_bytes))]
+
+
+class StaleOffsetResume(NamedTuple):
+    """A read resumed at a stale offset on a fresh file (data loss!)."""
+
+    file_tag: str
+    file_path: Optional[str]
+    proc_name: str
+    offset: int
+    time: int
+
+
+def find_stale_offset_resumes(store: DocumentStore, index: str,
+                              session: Optional[str] = None
+                              ) -> list[StaleOffsetResume]:
+    """Detect the Fluent Bit signature (§III-B, Fig. 2a step 5).
+
+    For some file tag, the *first* read ever issued against the file
+    starts at an offset > 0 and returns 0 bytes: the reader resumed
+    from a position that belongs to a previous file that had the same
+    name and inode.  Every later read of that tag returning data would
+    clear the suspicion; a tag whose reads never returned data past
+    that offset is flagged.
+    """
+    per_file: dict[str, list[dict]] = {}
+    for event in _data_events(store, index, session):
+        per_file.setdefault(event["file_tag"], []).append(event)
+
+    findings = []
+    for tag, events in sorted(per_file.items()):
+        reads = [e for e in events if e["syscall"] in _READS]
+        if not reads:
+            continue
+        first = reads[0]
+        offset = first.get("offset")
+        if offset is None or offset == 0 or first["ret"] != 0:
+            continue
+        if any(r["ret"] > 0 for r in reads):
+            continue
+        findings.append(StaleOffsetResume(
+            file_tag=tag,
+            file_path=first.get("file_path"),
+            proc_name=first["proc_name"],
+            offset=offset,
+            time=first["time"],
+        ))
+    return findings

@@ -1,0 +1,27 @@
+"""Production-level applications reproduced for the paper's evaluation.
+
+- :mod:`repro.apps.logger` — the ``app`` client of §III-B that writes,
+  deletes, and rewrites log files.
+- :mod:`repro.apps.fluentbit` — the Fluent Bit tail-input plugin in
+  two versions: v1.4.0 (the data-loss bug of issue #1875) and v2.0.5
+  (fixed).
+- :mod:`repro.apps.rocksdb` — an LSM key-value store with flush and
+  compaction background threads, plus the ``db_bench`` closed-loop
+  client harness used for §III-C and Table II.
+- :mod:`repro.apps.sqlitedb` — a SQLite-style embedded database with
+  rollback-journal and WAL modes (the §V extension case study).
+"""
+
+from repro.apps.logger import LogWriterApp
+from repro.apps.fluentbit import FluentBit, FLUENTBIT_BUGGY, FLUENTBIT_FIXED
+from repro.apps.sqlitedb import MiniSQLite, JOURNAL_DELETE, JOURNAL_WAL
+
+__all__ = [
+    "LogWriterApp",
+    "FluentBit",
+    "FLUENTBIT_BUGGY",
+    "FLUENTBIT_FIXED",
+    "MiniSQLite",
+    "JOURNAL_DELETE",
+    "JOURNAL_WAL",
+]

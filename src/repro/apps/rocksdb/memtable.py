@@ -1,0 +1,46 @@
+"""The in-memory write buffer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MemTable:
+    """A mutable key-value buffer with approximate size accounting.
+
+    Stores ``key -> (sequence, value)``; the sequence number orders
+    versions of the same key across memtables and SSTables.
+    """
+
+    __slots__ = ("_entries", "approximate_bytes", "frozen")
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[int, bytes]] = {}
+        self.approximate_bytes = 0
+        self.frozen = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: str, value: bytes, sequence: int) -> None:
+        """Insert or overwrite ``key``."""
+        if self.frozen:
+            raise RuntimeError("put into frozen memtable")
+        previous = self._entries.get(key)
+        if previous is not None:
+            self.approximate_bytes -= len(key) + len(previous[1])
+        self._entries[key] = (sequence, value)
+        self.approximate_bytes += len(key) + len(value)
+
+    def get(self, key: str) -> Optional[tuple[int, bytes]]:
+        """Lookup ``key``; returns ``(sequence, value)`` or ``None``."""
+        return self._entries.get(key)
+
+    def freeze(self) -> None:
+        """Mark immutable (about to be flushed)."""
+        self.frozen = True
+
+    def sorted_entries(self) -> list[tuple[str, int, bytes]]:
+        """Entries as ``(key, sequence, value)`` sorted by key."""
+        return [(key, seq, value)
+                for key, (seq, value) in sorted(self._entries.items())]

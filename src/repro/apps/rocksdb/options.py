@@ -1,0 +1,63 @@
+"""Tunables of the simulated RocksDB instance."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class DBOptions:
+    """Sizing and threading options (paper §III-C configuration)."""
+
+    #: Database directory in the simulated VFS.
+    db_path: str = "/rocksdb"
+    #: Memtable capacity before it is frozen for flushing.
+    memtable_bytes: int = 128 * 1024
+    #: How many frozen memtables may queue before writes stall.
+    max_immutable_memtables: int = 2
+    #: L0 file count that triggers an L0->L1 compaction.
+    l0_compaction_trigger: int = 4
+    #: L0 file count at which writes stall entirely.
+    l0_stop_trigger: int = 12
+    #: Target size of L1; level n target is this times multiplier^(n-1).
+    level_bytes_base: int = 1 * 1024 * 1024
+    #: Level size multiplier.
+    level_multiplier: int = 10
+    #: Deepest level.
+    max_level: int = 6
+    #: Target size of an individual SSTable file.
+    sstable_bytes: int = 256 * 1024
+    #: Background compaction threads (paper: 7) named rocksdb:lowN.
+    compaction_threads: int = 7
+    #: Split L0->L1 compactions into up to this many parallel
+    #: subcompactions served by the same thread pool (RocksDB's
+    #: ``max_subcompactions``); 1 disables splitting.
+    max_subcompactions: int = 1
+    #: Write syscall chunk when writing SSTables.
+    write_chunk_bytes: int = 64 * 1024
+    #: Read syscall chunk when compactions read input files.
+    compaction_read_chunk_bytes: int = 256 * 1024
+    #: Per-entry CPU cost during compaction merge (ns).
+    merge_cpu_ns_per_entry: int = 150
+    #: CPU cost of the user-space half of a get/put (ns): key
+    #: comparisons, memtable lookup, request framing.
+    op_cpu_ns: int = 800
+    #: Table-cache capacity (RocksDB's ``max_open_files``): at most
+    #: this many SSTable fds stay open; colder tables are closed and
+    #: re-opened on demand, producing the open/close churn real
+    #: deployments exhibit.
+    max_open_tables: int = 64
+    #: WAL file name inside ``wal_dir``.
+    wal_name: str = "LOG.wal"
+    #: Directory holding WAL files (RocksDB's ``wal_dir``); ``None``
+    #: keeps them in ``db_path``.  Pointing it at a separate mount
+    #: isolates commit syncs from compaction bandwidth.
+    wal_dir: str | None = None
+    #: Fsync WAL on every write (db_bench default is asynchronous).
+    wal_sync: bool = False
+
+    def level_target_bytes(self, level: int) -> int:
+        """Size target for ``level`` (>= 1)."""
+        if level < 1:
+            raise ValueError(f"level must be >= 1, got {level}")
+        return self.level_bytes_base * (self.level_multiplier ** (level - 1))

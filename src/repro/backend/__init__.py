@@ -1,0 +1,42 @@
+"""DIO's analysis backend: an Elasticsearch-like document store.
+
+The paper persists trace events in Elasticsearch and implements its
+file-path correlation algorithm with ES's query/update APIs.  This
+package is an in-process substitute exposing the same operations:
+
+- :mod:`repro.backend.store` — indices of JSON documents, bulk
+  indexing, search, and update-by-query.
+- :mod:`repro.backend.query` — a dict-shaped query DSL (``bool``,
+  ``term``, ``terms``, ``range``, ``exists``, ``wildcard``, ``prefix``,
+  ``match_all``) compiled to predicates, accelerated by per-field
+  inverted indexes.
+- :mod:`repro.backend.aggregations` — ``terms``, ``histogram``,
+  ``date_histogram``, ``percentiles``, ``stats`` (and friends), with
+  nested sub-aggregations.
+- :mod:`repro.backend.correlation` — the paper's custom file-path
+  correlation algorithm, translating file tags into accessed paths.
+"""
+
+from repro.backend.store import DocumentStore, Index
+from repro.backend.query import compile_query, QueryError
+from repro.backend.aggregations import run_aggregations, AggregationError
+from repro.backend.correlation import FilePathCorrelator, CorrelationReport
+from repro.backend.persistence import (SessionError, delete_session,
+                                       export_session, import_session,
+                                       list_sessions)
+
+__all__ = [
+    "DocumentStore",
+    "Index",
+    "compile_query",
+    "QueryError",
+    "run_aggregations",
+    "AggregationError",
+    "FilePathCorrelator",
+    "CorrelationReport",
+    "SessionError",
+    "delete_session",
+    "export_session",
+    "import_session",
+    "list_sessions",
+]

@@ -1,0 +1,162 @@
+"""Aggregations over search hits, Elasticsearch-shaped.
+
+Supported aggregation types::
+
+    {"terms":          {"field": f, "size": 10}}
+    {"histogram":      {"field": f, "interval": n}}
+    {"date_histogram": {"field": f, "fixed_interval": n}}   # interval in ns
+    {"percentiles":    {"field": f, "percents": [50, 99]}}
+    {"stats":          {"field": f}}
+    {"avg"|"min"|"max"|"sum"|"value_count": {"field": f}}
+    {"cardinality":    {"field": f}}
+
+Bucket aggregations (``terms``, ``histogram``, ``date_histogram``)
+accept nested ``aggs`` computed per bucket, which is how the paper's
+Fig. 4 (syscalls over time, split by thread name) is produced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.backend.query import get_field
+
+
+class AggregationError(Exception):
+    """Malformed aggregation request."""
+
+
+_BUCKET_KINDS = {"terms", "histogram", "date_histogram"}
+_METRIC_KINDS = {"percentiles", "stats", "avg", "min", "max", "sum",
+                 "value_count", "cardinality"}
+
+
+def percentile(sorted_values: list, percent: float) -> float:
+    """Linear-interpolated percentile of pre-sorted numeric values."""
+    if not sorted_values:
+        return math.nan
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (percent / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_values[low])
+    weight = rank - low
+    # low + w * (high - low) is exact for equal neighbours, unlike the
+    # convex-combination form, which can overshoot by one ulp.
+    low_value = float(sorted_values[low])
+    high_value = float(sorted_values[high])
+    return low_value + weight * (high_value - low_value)
+
+
+def _field_values(sources: list[dict], field: str) -> list:
+    return [value for source in sources
+            if (value := get_field(source, field)) is not None]
+
+
+def _numeric_values(sources: list[dict], field: str) -> list:
+    return [v for v in _field_values(sources, field)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)]
+
+
+def _run_metric(kind: str, body: dict, sources: list[dict]) -> dict:
+    field = body.get("field")
+    if not field:
+        raise AggregationError(f"{kind} aggregation needs a field")
+    if kind == "value_count":
+        return {"value": len(_field_values(sources, field))}
+    if kind == "cardinality":
+        return {"value": len(set(map(repr, _field_values(sources, field))))}
+
+    values = _numeric_values(sources, field)
+    if kind == "percentiles":
+        percents = body.get("percents", [1, 5, 25, 50, 75, 95, 99])
+        ordered = sorted(values)
+        return {"values": {f"{p:g}": percentile(ordered, p) for p in percents}}
+    if kind == "stats":
+        if not values:
+            return {"count": 0, "min": None, "max": None, "avg": None, "sum": 0}
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "avg": sum(values) / len(values),
+            "sum": sum(values),
+        }
+    if not values:
+        return {"value": None if kind != "sum" else 0}
+    if kind == "avg":
+        return {"value": sum(values) / len(values)}
+    if kind == "min":
+        return {"value": min(values)}
+    if kind == "max":
+        return {"value": max(values)}
+    if kind == "sum":
+        return {"value": sum(values)}
+    raise AggregationError(f"unknown metric {kind!r}")
+
+
+def _run_bucket(kind: str, body: dict, sources: list[dict],
+                nested: Optional[dict]) -> dict:
+    field = body.get("field")
+    if not field:
+        raise AggregationError(f"{kind} aggregation needs a field")
+
+    buckets: dict[Any, list[dict]] = {}
+    if kind == "terms":
+        for source in sources:
+            key = get_field(source, field)
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(source)
+        size = body.get("size", 10)
+        ordered = sorted(buckets.items(), key=lambda kv: (-len(kv[1]), str(kv[0])))
+        ordered = ordered[:size]
+    else:
+        interval = body.get("interval") or body.get("fixed_interval")
+        if not interval or interval <= 0:
+            raise AggregationError(f"{kind} aggregation needs a positive interval")
+        for source in sources:
+            value = get_field(source, field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            key = int(value // interval) * interval
+            buckets.setdefault(key, []).append(source)
+        ordered = sorted(buckets.items())
+
+    out = []
+    for key, docs in ordered:
+        bucket: dict[str, Any] = {"key": key, "doc_count": len(docs)}
+        if nested:
+            bucket.update(run_aggregations(nested, docs))
+        out.append(bucket)
+    return {"buckets": out}
+
+
+def run_aggregations(aggs: dict, sources: list[dict]) -> dict:
+    """Evaluate an ES-style ``aggs`` request over document sources."""
+    if not isinstance(aggs, dict):
+        raise AggregationError(f"aggs must be a dict: {aggs!r}")
+    results: dict[str, Any] = {}
+    for agg_name, spec in aggs.items():
+        if not isinstance(spec, dict):
+            raise AggregationError(f"aggregation {agg_name!r} must be a dict")
+        nested = spec.get("aggs") or spec.get("aggregations")
+        kinds = [k for k in spec if k not in ("aggs", "aggregations")]
+        if len(kinds) != 1:
+            raise AggregationError(
+                f"aggregation {agg_name!r} must have exactly one type")
+        kind = kinds[0]
+        body = spec[kind]
+        if kind in _BUCKET_KINDS:
+            results[agg_name] = _run_bucket(kind, body, sources, nested)
+        elif kind in _METRIC_KINDS:
+            if nested:
+                raise AggregationError(
+                    f"metric aggregation {agg_name!r} cannot nest aggs")
+            results[agg_name] = _run_metric(kind, body, sources)
+        else:
+            raise AggregationError(f"unknown aggregation kind {kind!r}")
+    return results

@@ -1,0 +1,130 @@
+"""The paper's custom file-path correlation algorithm (§II-C).
+
+DIO's tracer labels fd-handling syscalls with a *file tag* — device
+number, inode number, and first-access timestamp — because most
+fd-based syscalls (``read``, ``close``, ...) never see a path.  The
+path **is** visible in the ``open``/``openat``/``creat`` event that
+produced the fd.  This module performs the translation the paper
+implements with Elasticsearch's query and update APIs: find each tag's
+opening event, then update every event carrying that tag with the
+resolved ``file_path``.
+
+Events whose opening syscall was never captured (e.g. discarded at the
+ring buffer, or the file was opened before tracing started) remain
+unresolved; the ratio of unresolved events is the fidelity metric the
+paper compares against Sysdig (≤5% vs 45%, §III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.store import DocumentStore
+
+#: Syscalls whose events carry both a path argument and a file tag.
+PATH_BEARING_SYSCALLS = ("open", "openat", "creat")
+
+
+class CorrelationReport:
+    """Outcome of one correlation pass."""
+
+    __slots__ = ("tags_resolved", "documents_updated", "documents_tagged",
+                 "documents_unresolved")
+
+    def __init__(self, tags_resolved: int, documents_updated: int,
+                 documents_tagged: int, documents_unresolved: int):
+        self.tags_resolved = tags_resolved
+        self.documents_updated = documents_updated
+        self.documents_tagged = documents_tagged
+        self.documents_unresolved = documents_unresolved
+
+    @property
+    def unresolved_ratio(self) -> float:
+        """Fraction of tagged events left without a file path."""
+        if self.documents_tagged == 0:
+            return 0.0
+        return self.documents_unresolved / self.documents_tagged
+
+    def as_dict(self) -> dict:
+        """Report fields as a plain dict."""
+        return {
+            "tags_resolved": self.tags_resolved,
+            "documents_updated": self.documents_updated,
+            "documents_tagged": self.documents_tagged,
+            "documents_unresolved": self.documents_unresolved,
+            "unresolved_ratio": self.unresolved_ratio,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<CorrelationReport resolved_tags={self.tags_resolved} "
+                f"unresolved_ratio={self.unresolved_ratio:.3f}>")
+
+
+class FilePathCorrelator:
+    """Translates file tags into file paths across an event index."""
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+
+    def tag_to_path(self, index: str,
+                    session: Optional[str] = None) -> dict[str, str]:
+        """Build the tag -> path mapping from open-family events.
+
+        When the same tag was opened under several paths (rename between
+        opens), the most recent open wins, matching what a user sees in
+        Kibana when sorting by time.  With ``session`` given, only that
+        execution's opens contribute: different machines may produce
+        identical (dev, ino, timestamp) tags, and one session's paths
+        must never resolve another's events.
+        """
+        must: list = [
+            {"terms": {"syscall": list(PATH_BEARING_SYSCALLS)}},
+            {"exists": {"field": "file_tag"}},
+        ]
+        if session:
+            must.append({"term": {"session": session}})
+        response = self.store.search(
+            index,
+            query={"bool": {"must": must}},
+            sort=["time"],
+            size=None,
+        )
+        mapping: dict[str, str] = {}
+        for hit in response["hits"]["hits"]:
+            source = hit["_source"]
+            path = source.get("args", {}).get("path")
+            tag = source.get("file_tag")
+            if path and tag:
+                mapping[tag] = path
+        return mapping
+
+    def correlate(self, index: str,
+                  session: Optional[str] = None) -> CorrelationReport:
+        """Run the correlation over ``index`` (optionally one session)."""
+        mapping = self.tag_to_path(index, session)
+
+        updated = 0
+        for tag, path in mapping.items():
+            query: dict = {"bool": {"must": [{"term": {"file_tag": tag}}]}}
+            if session:
+                query["bool"]["must"].append({"term": {"session": session}})
+            updated += self.store.update_by_query(
+                index, query, {"file_path": path})
+
+        tagged_query: dict = {"bool": {"must": [{"exists": {"field": "file_tag"}}]}}
+        unresolved_query: dict = {"bool": {
+            "must": [{"exists": {"field": "file_tag"}}],
+            "must_not": [{"exists": {"field": "file_path"}}],
+        }}
+        if session:
+            tagged_query["bool"]["must"].append({"term": {"session": session}})
+            unresolved_query["bool"]["must"].append({"term": {"session": session}})
+
+        tagged = self.store.count(index, tagged_query)
+        unresolved = self.store.count(index, unresolved_query)
+        return CorrelationReport(
+            tags_resolved=len(mapping),
+            documents_updated=updated,
+            documents_tagged=tagged,
+            documents_unresolved=unresolved,
+        )

@@ -1,0 +1,121 @@
+"""Post-mortem session storage (paper §II, design principles).
+
+*"DIO allows storing different tracing executions from the same or
+different applications and posteriorly analyzing and comparing them."*
+
+Sessions are exported as JSON-lines files (one event document per
+line, plus a header line with session metadata) and can be re-imported
+into any :class:`~repro.backend.store.DocumentStore` — on this machine,
+on another one, or months later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.backend.store import DocumentStore
+
+#: Format marker written in the header line.
+FORMAT = "dio-session-v1"
+
+
+class SessionError(Exception):
+    """Malformed session file or unknown session."""
+
+
+def list_sessions(store: DocumentStore, index: str = "dio_trace") -> list[dict]:
+    """Summaries of the sessions stored in ``index``.
+
+    Returns one dict per session: name, event count, first/last event
+    timestamps, and the distinct process names seen.
+    """
+    try:
+        response = store.search(index, size=0, aggs={
+            "sessions": {
+                "terms": {"field": "session", "size": 1000},
+                "aggs": {
+                    "first": {"min": {"field": "time"}},
+                    "last": {"max": {"field": "time"}},
+                    "procs": {"terms": {"field": "proc_name", "size": 100}},
+                },
+            },
+        })
+    except Exception as exc:  # index missing
+        raise SessionError(f"cannot list sessions in {index!r}") from exc
+    summaries = []
+    for bucket in response["aggregations"]["sessions"]["buckets"]:
+        summaries.append({
+            "session": bucket["key"],
+            "events": bucket["doc_count"],
+            "first_ns": bucket["first"]["value"],
+            "last_ns": bucket["last"]["value"],
+            "processes": sorted(b["key"]
+                                for b in bucket["procs"]["buckets"]),
+        })
+    return summaries
+
+
+def export_session(store: DocumentStore, session: str, path: str | Path,
+                   index: str = "dio_trace") -> int:
+    """Write one session's events to a JSON-lines file.
+
+    Returns the number of exported events.  The file starts with a
+    header object carrying the format marker and session name.
+    """
+    response = store.search(index, query={"term": {"session": session}},
+                            sort=["time"], size=None)
+    hits = response["hits"]["hits"]
+    if not hits:
+        raise SessionError(f"session {session!r} has no events in {index!r}")
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"format": FORMAT, "session": session,
+                  "events": len(hits), "index": index}
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for hit in hits:
+            handle.write(json.dumps(hit["_source"], sort_keys=True) + "\n")
+    return len(hits)
+
+
+def import_session(store: DocumentStore, path: str | Path,
+                   index: str = "dio_trace",
+                   rename_to: Optional[str] = None) -> str:
+    """Load a session file into ``index``; returns the session name.
+
+    ``rename_to`` re-labels the session on import, so the same capture
+    can be loaded twice side by side (e.g. for before/after diffing).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise SessionError(f"{path} is not a session file") from exc
+        if header.get("format") != FORMAT:
+            raise SessionError(
+                f"{path}: unsupported format {header.get('format')!r}")
+        session = rename_to or header["session"]
+        docs = []
+        for line in handle:
+            if not line.strip():
+                continue
+            doc = json.loads(line)
+            doc["session"] = session
+            docs.append(doc)
+    if len(docs) != header.get("events"):
+        raise SessionError(
+            f"{path}: header claims {header.get('events')} events, "
+            f"found {len(docs)}")
+    store.ensure_index(index, indexed_fields=("syscall", "proc_name", "pid",
+                                              "tid", "file_tag", "session"))
+    store.bulk(index, docs)
+    return session
+
+
+def delete_session(store: DocumentStore, session: str,
+                   index: str = "dio_trace") -> int:
+    """Remove a session's events; returns how many were deleted."""
+    return store.delete_by_query(index, {"term": {"session": session}})

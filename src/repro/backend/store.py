@@ -1,0 +1,286 @@
+"""The document store: indices, search, bulk and update APIs.
+
+API surface mirrors the slice of Elasticsearch that DIO uses: document
+indexing (including a bulk endpoint the tracer batches into), search
+with query + aggregations + sort + pagination, and update-by-query for
+the correlation algorithm.  Term lookups are accelerated with per-field
+inverted indexes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Optional
+
+from repro.backend.aggregations import run_aggregations
+from repro.backend.query import compile_query, get_field, term_candidates
+
+
+class StoreError(Exception):
+    """Misuse of the document store."""
+
+
+class Index:
+    """A named collection of JSON documents with inverted indexes."""
+
+    def __init__(self, name: str, indexed_fields: Optional[Iterable[str]] = None):
+        self.name = name
+        self._docs: dict[str, dict] = {}
+        self._next_id = 1
+        #: field -> value -> set of doc ids.  Fields are added lazily the
+        #: first time a term query touches them, or eagerly via
+        #: ``indexed_fields``.
+        self._inverted: dict[str, dict[Any, set[str]]] = {}
+        for field in indexed_fields or ():
+            self._inverted[field] = defaultdict(set)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def _generate_id(self) -> str:
+        doc_id = str(self._next_id)
+        self._next_id += 1
+        return doc_id
+
+    def put(self, source: dict, doc_id: Optional[str] = None) -> str:
+        """Index one document; returns its id."""
+        if not isinstance(source, dict):
+            raise StoreError(f"document source must be a dict: {source!r}")
+        if doc_id is None:
+            doc_id = self._generate_id()
+        elif doc_id in self._docs:
+            self._remove_from_inverted(doc_id, self._docs[doc_id])
+        self._docs[doc_id] = source
+        self._add_to_inverted(doc_id, source)
+        return doc_id
+
+    def delete(self, doc_id: str) -> bool:
+        """Delete by id; returns ``False`` if absent."""
+        source = self._docs.pop(doc_id, None)
+        if source is None:
+            return False
+        self._remove_from_inverted(doc_id, source)
+        return True
+
+    def get(self, doc_id: str) -> Optional[dict]:
+        """Fetch a document source by id."""
+        return self._docs.get(doc_id)
+
+    def _add_to_inverted(self, doc_id: str, source: dict) -> None:
+        for field, postings in self._inverted.items():
+            value = get_field(source, field)
+            if _is_indexable(value):
+                postings.setdefault(value, set()).add(doc_id)
+
+    def _remove_from_inverted(self, doc_id: str, source: dict) -> None:
+        for field, postings in self._inverted.items():
+            value = get_field(source, field)
+            if _is_indexable(value):
+                ids = postings.get(value)
+                if ids is not None:
+                    ids.discard(doc_id)
+
+    def ensure_indexed(self, field: str) -> None:
+        """Build an inverted index for ``field`` if missing."""
+        if field in self._inverted:
+            return
+        postings: dict[Any, set[str]] = defaultdict(set)
+        for doc_id, source in self._docs.items():
+            value = get_field(source, field)
+            if _is_indexable(value):
+                postings[value].add(doc_id)
+        self._inverted[field] = postings
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def candidate_ids(self, query: Optional[dict]) -> Optional[set[str]]:
+        """Narrow the scan set with inverted indexes, if possible."""
+        pairs = term_candidates(query)
+        if not pairs:
+            return None
+        best: Optional[set[str]] = None
+        for field, values in pairs:
+            self.ensure_indexed(field)
+            postings = self._inverted[field]
+            ids: set[str] = set()
+            for value in values:
+                if _is_indexable(value):
+                    ids |= postings.get(value, set())
+            if best is None or len(ids) < len(best):
+                best = ids
+        return best
+
+    def scan(self, query: Optional[dict]) -> list[tuple[str, dict]]:
+        """All (id, source) pairs matching ``query``."""
+        predicate = compile_query(query)
+        candidates = self.candidate_ids(query)
+        if candidates is None:
+            return [(doc_id, src) for doc_id, src in self._docs.items()
+                    if predicate(src)]
+        return [(doc_id, self._docs[doc_id])
+                for doc_id in candidates
+                if doc_id in self._docs and predicate(self._docs[doc_id])]
+
+
+def _is_indexable(value: Any) -> bool:
+    return isinstance(value, (str, int, float, bool, tuple)) and value is not None
+
+
+class DocumentStore:
+    """A collection of named indices — the in-process "Elasticsearch"."""
+
+    def __init__(self) -> None:
+        self._indices: dict[str, Index] = {}
+        self.bulk_requests = 0
+        self.documents_indexed = 0
+
+    # ------------------------------------------------------------------
+    # Index management
+
+    def create_index(self, name: str,
+                     indexed_fields: Optional[Iterable[str]] = None) -> Index:
+        """Create an index; error if it exists."""
+        if name in self._indices:
+            raise StoreError(f"index {name!r} already exists")
+        index = Index(name, indexed_fields)
+        self._indices[name] = index
+        return index
+
+    def ensure_index(self, name: str,
+                     indexed_fields: Optional[Iterable[str]] = None) -> Index:
+        """Create-or-get an index (what the tracer's shipper uses)."""
+        if name not in self._indices:
+            return self.create_index(name, indexed_fields)
+        return self._indices[name]
+
+    def delete_index(self, name: str) -> None:
+        """Drop an index and its documents."""
+        if name not in self._indices:
+            raise StoreError(f"no such index {name!r}")
+        del self._indices[name]
+
+    def index_names(self) -> list[str]:
+        """Sorted names of existing indices."""
+        return sorted(self._indices)
+
+    def _index(self, name: str) -> Index:
+        index = self._indices.get(name)
+        if index is None:
+            raise StoreError(f"no such index {name!r}")
+        return index
+
+    def count(self, index: str, query: Optional[dict] = None) -> int:
+        """Number of documents matching ``query``."""
+        return len(self._index(index).scan(query))
+
+    # ------------------------------------------------------------------
+    # Document APIs
+
+    def index_doc(self, index: str, source: dict,
+                  doc_id: Optional[str] = None) -> str:
+        """Index a single document."""
+        doc_id = self.ensure_index(index).put(source, doc_id)
+        self.documents_indexed += 1
+        return doc_id
+
+    def get_doc(self, index: str, doc_id: str) -> Optional[dict]:
+        """Fetch a document source."""
+        return self._index(index).get(doc_id)
+
+    def bulk(self, index: str, sources: Iterable[dict]) -> int:
+        """Bulk-index documents; returns how many were indexed."""
+        target = self.ensure_index(index)
+        count = 0
+        for source in sources:
+            target.put(source)
+            count += 1
+        self.bulk_requests += 1
+        self.documents_indexed += count
+        return count
+
+    # ------------------------------------------------------------------
+    # Search
+
+    def search(self, index: str, query: Optional[dict] = None,
+               aggs: Optional[dict] = None,
+               sort: Optional[list] = None,
+               size: Optional[int] = 10,
+               from_: int = 0) -> dict:
+        """Search an index; returns an ES-shaped response dict.
+
+        ``sort`` entries may be field names (ascending) or
+        ``{"field": {"order": "desc"}}`` dicts.  ``size=None`` returns
+        all hits.
+        """
+        matches = self._index(index).scan(query)
+        total = len(matches)
+
+        if sort:
+            for entry in reversed(sort):
+                if isinstance(entry, str):
+                    field, descending = entry, False
+                elif isinstance(entry, dict) and len(entry) == 1:
+                    field, opts = next(iter(entry.items()))
+                    descending = (opts or {}).get("order", "asc") == "desc"
+                else:
+                    raise StoreError(f"bad sort entry {entry!r}")
+                matches.sort(
+                    key=lambda pair, f=field: _sort_key(get_field(pair[1], f)),
+                    reverse=descending)
+
+        aggregations = (run_aggregations(aggs, [src for _, src in matches])
+                        if aggs else None)
+
+        window = matches[from_:] if size is None else matches[from_:from_ + size]
+        response = {
+            "hits": {
+                "total": {"value": total},
+                "hits": [{"_id": doc_id, "_index": index, "_source": source}
+                         for doc_id, source in window],
+            },
+        }
+        if aggregations is not None:
+            response["aggregations"] = aggregations
+        return response
+
+    def update_by_query(self, index: str, query: Optional[dict],
+                        update: Callable[[dict], None] | dict) -> int:
+        """Apply ``update`` to every matching document.
+
+        ``update`` is either a callable mutating the source in place or
+        a dict of fields to set (the common correlation case).  Returns
+        the number of updated documents.
+        """
+        target = self._index(index)
+        matches = target.scan(query)
+        for doc_id, source in matches:
+            if callable(update):
+                update(source)
+            else:
+                source.update(update)
+            # Re-put to refresh inverted indexes for changed fields.
+            target.put(source, doc_id)
+        return len(matches)
+
+    def delete_by_query(self, index: str, query: Optional[dict]) -> int:
+        """Delete every matching document; returns how many."""
+        target = self._index(index)
+        matches = target.scan(query)
+        for doc_id, _ in matches:
+            target.delete(doc_id)
+        return len(matches)
+
+
+def _sort_key(value: Any):
+    # None sorts first; mixed types compare by type name then value.
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", value)
+    if isinstance(value, (int, float)):
+        return (1, "num", value)
+    return (1, type(value).__name__, str(value))

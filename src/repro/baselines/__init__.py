@@ -1,0 +1,30 @@
+"""Baseline tracers the paper compares DIO against (Table II/III).
+
+- :mod:`repro.baselines.base` — the common tracer interface and the
+  *vanilla* (no tracing) baseline.
+- :mod:`repro.baselines.strace` — a ptrace-style tracer: synchronous
+  stop at syscall entry and exit with context-switch costs in the
+  traced thread's critical path; never drops events.
+- :mod:`repro.baselines.sysdig` — an eBPF-based tracer with lower
+  per-event cost but separate entry/exit records, a small ring buffer,
+  and user-space-only fd→path resolution, which loses paths for a large
+  fraction of events.
+- :mod:`repro.baselines.capabilities` — the qualitative feature matrix
+  behind the paper's Table III.
+"""
+
+from repro.baselines.base import BaselineStats, VanillaTracer
+from repro.baselines.strace import StraceTracer
+from repro.baselines.sysdig import SysdigTracer
+from repro.baselines.capabilities import (CAPABILITY_MATRIX, TOOLS,
+                                          capability_table)
+
+__all__ = [
+    "BaselineStats",
+    "VanillaTracer",
+    "StraceTracer",
+    "SysdigTracer",
+    "CAPABILITY_MATRIX",
+    "TOOLS",
+    "capability_table",
+]

@@ -1,0 +1,116 @@
+"""The qualitative tool-comparison matrix behind the paper's Table III.
+
+The table compares DIO against eight syscall-tracing/analysis tools on:
+captured tracing information, filtering, tracing↔analysis integration
+(``O`` offline / ``I`` inline), analysis customization, predefined
+visualizations, and whether each of the paper's two use cases can be
+traced (``T``) and analysed (``A``) with the tool.
+
+The entries are reconstructed from the paper's Related Work text
+(§IV), which states, among others, that: only DIO collects file
+offsets; sysdig/tracee/CaT/Longline also record the process name; only
+CaT, Tracee and DIO aggregate entry/exit in kernel space; only those
+plus strace and sysdig filter at tracing time; only DIO and Longline
+forward events inline; and only DIO provides the analysis (A) for both
+use cases.
+"""
+
+from __future__ import annotations
+
+#: Column order follows the paper's Table III.
+TOOLS = (
+    "strace",       # [10] ptrace
+    "sysdig",       # [14] eBPF
+    "re-animator",  # [15] LTTng
+    "tracee",       # [16] eBPF
+    "cat",          # [4]  eBPF
+    "ioscope",      # [5]  eBPF/VFS
+    "daoud",        # [3]  LTTng
+    "longline",     # [18] auditd
+    "dio",          # this work
+)
+
+#: Feature rows, grouped as in the paper.
+FEATURES = (
+    # Tracing
+    "syscall_info", "f_offset", "f_type", "proc_name", "filters",
+    # Analysis pipeline ("O" = offline, "I" = inline for `integrated`)
+    "integrated", "customizable", "predefined_vis",
+    # Use cases ("T" traced, "TA" traced + analysed, "" unsupported)
+    "usecase_IIIB", "usecase_IIIC",
+)
+
+_Y = True
+_N = False
+
+#: tool -> feature -> value (bool, or str for integrated/use-case rows).
+CAPABILITY_MATRIX: dict[str, dict] = {
+    "strace": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _N, "proc_name": _N,
+        "filters": _Y, "integrated": "", "customizable": _N,
+        "predefined_vis": _N, "usecase_IIIB": "", "usecase_IIIC": "",
+    },
+    "sysdig": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _Y, "proc_name": _Y,
+        "filters": _Y, "integrated": "", "customizable": _N,
+        "predefined_vis": _N, "usecase_IIIB": "", "usecase_IIIC": "T",
+    },
+    "re-animator": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _N, "proc_name": _N,
+        "filters": _N, "integrated": "", "customizable": _N,
+        "predefined_vis": _N, "usecase_IIIB": "", "usecase_IIIC": "",
+    },
+    "tracee": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _N, "proc_name": _Y,
+        "filters": _Y, "integrated": "", "customizable": _N,
+        "predefined_vis": _N, "usecase_IIIB": "", "usecase_IIIC": "T",
+    },
+    "cat": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _N, "proc_name": _Y,
+        "filters": _Y, "integrated": "O", "customizable": _N,
+        "predefined_vis": _N, "usecase_IIIB": "", "usecase_IIIC": "T",
+    },
+    "ioscope": {
+        "syscall_info": _Y, "f_offset": _Y, "f_type": _N, "proc_name": _N,
+        "filters": _N, "integrated": "O", "customizable": _N,
+        "predefined_vis": _N, "usecase_IIIB": "T", "usecase_IIIC": "",
+    },
+    "daoud": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _N, "proc_name": _N,
+        "filters": _N, "integrated": "O", "customizable": _Y,
+        "predefined_vis": _Y, "usecase_IIIB": "", "usecase_IIIC": "",
+    },
+    "longline": {
+        "syscall_info": _Y, "f_offset": _N, "f_type": _N, "proc_name": _Y,
+        "filters": _N, "integrated": "I", "customizable": _N,
+        "predefined_vis": _Y, "usecase_IIIB": "", "usecase_IIIC": "T",
+    },
+    "dio": {
+        "syscall_info": _Y, "f_offset": _Y, "f_type": _Y, "proc_name": _Y,
+        "filters": _Y, "integrated": "I", "customizable": _Y,
+        "predefined_vis": _Y, "usecase_IIIB": "TA", "usecase_IIIC": "TA",
+    },
+}
+
+
+def capability_table() -> str:
+    """Render Table III as aligned plain text."""
+    header = ["feature".ljust(16)] + [tool.rjust(12) for tool in TOOLS]
+    lines = ["".join(header)]
+    for feature in FEATURES:
+        row = [feature.ljust(16)]
+        for tool in TOOLS:
+            value = CAPABILITY_MATRIX[tool][feature]
+            if isinstance(value, bool):
+                cell = "yes" if value else "-"
+            else:
+                cell = value or "-"
+            row.append(cell.rjust(12))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def tools_with(feature: str, value=True) -> list[str]:
+    """Tools whose ``feature`` equals ``value``."""
+    return [tool for tool in TOOLS
+            if CAPABILITY_MATRIX[tool][feature] == value]

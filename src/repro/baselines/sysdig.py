@@ -1,0 +1,171 @@
+"""A Sysdig-style baseline tracer.
+
+Sysdig is also eBPF-based, with lower per-event kernel cost than DIO —
+but it reports less: in the paper's measurements Sysdig could not
+report file paths for **45%** of collected events, versus at most 5%
+for DIO (§III-D).  The structural reasons modelled here:
+
+- entry and exit are emitted as **two separate records** (no in-kernel
+  pairing), doubling ring-buffer traffic;
+- the default per-CPU buffer is small (8 MiB, vs DIO's configured
+  256 MiB), so bursts overflow and drop records;
+- fd→path resolution happens purely in user space from the open/close
+  records it managed to capture — once an ``open`` record is lost,
+  every subsequent event on that fd has no path; there is no file-tag
+  mechanism to recover it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ebpf.ringbuf import PerCPURingBuffer
+from repro.kernel.syscalls import Kernel
+from repro.kernel.tracepoints import SyscallContext
+from repro.sim import Environment
+
+from repro.baselines.base import BaselineStats
+
+#: Default per-CPU buffer: sysdig ships with 8 MiB.
+DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
+#: Kernel-side cost per half-event (ns); cheaper than DIO's programs.
+PROBE_COST_NS = 250
+#: Approximate bytes per raw sysdig record.
+RECORD_BYTES = 96
+
+#: fd-returning syscalls used for user-space fd tracking.
+_OPEN_SYSCALLS = frozenset({"open", "openat", "creat"})
+#: fd-consuming syscalls whose events want a path.
+_FD_SYSCALLS = frozenset({
+    "read", "pread64", "readv", "write", "pwrite64", "writev", "lseek",
+    "ftruncate", "fsync", "fdatasync", "fstat", "fstatfs", "close",
+    "fgetxattr", "fsetxattr", "flistxattr", "fremovexattr",
+})
+
+
+class SysdigTracer:
+    """eBPF tracer with separate entry/exit records and no file tags."""
+
+    name = "sysdig"
+
+    def __init__(self, env: Environment, kernel: Kernel,
+                 buffer_bytes_per_cpu: int = DEFAULT_BUFFER_BYTES,
+                 probe_cost_ns: int = PROBE_COST_NS,
+                 consume_ns_per_event: int = 900,
+                 poll_interval_ns: int = 400_000,
+                 batch_size: int = 2048,
+                 syscalls: Optional[frozenset[str]] = None):
+        self.env = env
+        self.kernel = kernel
+        self.probe_cost_ns = probe_cost_ns
+        self.consume_ns_per_event = consume_ns_per_event
+        self.poll_interval_ns = poll_interval_ns
+        self.batch_size = batch_size
+        self.syscalls = syscalls
+        self.ring = PerCPURingBuffer(kernel.ncpus, buffer_bytes_per_cpu)
+        self.stats = BaselineStats()
+        #: Captured events, as sysdig would print them.
+        self.events: list[dict] = []
+        #: User-space fd table: (pid, fd) -> path.
+        self._fd_table: dict[tuple[int, int], str] = {}
+        self._attached = False
+        self._running = False
+        self._consumer = None
+
+    # ------------------------------------------------------------------
+    # Kernel space: two half-records per syscall
+
+    def _on_enter(self, ctx: SyscallContext) -> int:
+        record = ("enter", ctx.name, ctx.pid, ctx.tid, ctx.comm,
+                  ctx.enter_ns, dict(ctx.args), None)
+        self.ring.produce(ctx.task.cpu, record, RECORD_BYTES)
+        return self.probe_cost_ns
+
+    def _on_exit(self, ctx: SyscallContext) -> int:
+        record = ("exit", ctx.name, ctx.pid, ctx.tid, ctx.comm,
+                  ctx.exit_ns, dict(ctx.args), ctx.retval)
+        self.ring.produce(ctx.task.cpu, record, RECORD_BYTES)
+        return self.probe_cost_ns
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def attach(self) -> None:
+        """Enable probes and start the user-space consumer."""
+        if self._attached:
+            raise RuntimeError("sysdig already attached")
+        from repro.kernel.syscalls import SYSCALLS
+
+        for syscall in sorted(self.syscalls or SYSCALLS):
+            self.kernel.tracepoints.attach_enter(syscall, self._on_enter)
+            self.kernel.tracepoints.attach_exit(syscall, self._on_exit)
+        self._attached = True
+        self._running = True
+        self._consumer = self.env.process(self._consume_loop())
+
+    def stop(self) -> None:
+        """Disable probes; consumer drains what is buffered."""
+        if not self._attached:
+            return
+        from repro.kernel.syscalls import SYSCALLS
+
+        for syscall in sorted(self.syscalls or SYSCALLS):
+            try:
+                self.kernel.tracepoints.detach_enter(syscall, self._on_enter)
+                self.kernel.tracepoints.detach_exit(syscall, self._on_exit)
+            except ValueError:
+                pass
+        self._attached = False
+        self._running = False
+
+    def shutdown(self):
+        """Process generator: stop and wait for the consumer."""
+        self.stop()
+        if self._consumer is not None:
+            yield self._consumer
+
+    # ------------------------------------------------------------------
+    # User space: parse half-records, resolve paths from observed state
+
+    def _handle_exit_record(self, record: tuple) -> None:
+        _, name, pid, tid, comm, ts, args, retval = record
+        event = {
+            "syscall": name,
+            "pid": pid,
+            "tid": tid,
+            "proc_name": comm,
+            "time": ts,
+            "ret": retval,
+        }
+        if name in _OPEN_SYSCALLS:
+            path = args.get("path")
+            if retval is not None and retval >= 0 and path:
+                self._fd_table[(pid, retval)] = path
+            event["file_path"] = path
+            self.stats.paths_resolved += 1
+        elif name in _FD_SYSCALLS:
+            fd = args.get("fd")
+            path = self._fd_table.get((pid, fd))
+            if name == "close":
+                self._fd_table.pop((pid, fd), None)
+            if path is None:
+                self.stats.paths_unresolved += 1
+            else:
+                event["file_path"] = path
+                self.stats.paths_resolved += 1
+        self.events.append(event)
+        self.stats.events_captured += 1
+
+    def _consume_loop(self):
+        while True:
+            batch = self.ring.consume_all(max_records_per_cpu=self.batch_size)
+            if not batch:
+                if not self._running:
+                    break
+                yield self.env.timeout(self.poll_interval_ns)
+                continue
+            yield self.env.timeout(self.consume_ns_per_event * len(batch))
+            for record in batch:
+                if record[0] == "exit":
+                    self._handle_exit_record(record)
+        self.stats.events_dropped = self.ring.stats.dropped

@@ -1,0 +1,280 @@
+"""``dio`` command-line interface.
+
+Runs the paper's experiments from a terminal::
+
+    dio fluentbit --version 1.4.0     # §III-B, Fig. 2a
+    dio fluentbit --version 2.0.5     # §III-B, Fig. 2b
+    dio rocksdb --duration 2.0        # §III-C, Fig. 3 + Fig. 4
+    dio overhead --ops 1500           # §III-D, Table II
+    dio capabilities                  # Table III
+
+Each subcommand prints the DIO dashboards the corresponding figure or
+table was generated from.  Traces can be kept for post-mortem work
+(paper §II design principle)::
+
+    dio fluentbit --version 1.4.0 --export buggy.jsonl
+    dio fluentbit --version 2.0.5 --export fixed.jsonl
+    dio sessions buggy.jsonl fixed.jsonl      # list stored sessions
+    dio analyze buggy.jsonl                   # run the detector battery
+    dio compare buggy.jsonl fixed.jsonl       # first behavioural diff
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+SECOND = 1_000_000_000
+
+
+def _cmd_fluentbit(args) -> int:
+    from repro.analysis.patterns import find_stale_offset_resumes
+    from repro.backend.persistence import export_session
+    from repro.experiments import run_fluentbit_case
+
+    case = run_fluentbit_case(args.version)
+    session = case.tracer.config.session_name
+    print(f"Fluent Bit {args.version} traced by DIO (session {session!r})\n")
+    print(case.figure2_table())
+    print()
+    print(f"client wrote   : {case.written_bytes} bytes")
+    print(f"flb delivered  : {case.delivered_bytes} bytes")
+    print(f"data lost      : {case.lost_bytes} bytes")
+    findings = find_stale_offset_resumes(case.store, "dio_trace")
+    for finding in findings:
+        print(f"stale-offset resume detected: {finding.proc_name} read "
+              f"{finding.file_path or finding.file_tag} from offset "
+              f"{finding.offset} on a fresh file")
+    if args.export:
+        count = export_session(case.store, session, args.export)
+        print(f"\nexported {count} events to {args.export}")
+    return 0
+
+
+def _cmd_rocksdb(args) -> int:
+    from repro.analysis.contention import detect_contention
+    from repro.experiments import run_rocksdb_case
+    from repro.experiments.rocksdb_case import RocksDBScale
+
+    scale = RocksDBScale(duration_ns=int(args.duration * SECOND))
+    case = run_rocksdb_case(scale)
+    window = 100_000_000
+    print("Fig. 3 — p99 client latency over time (source: db_bench)\n")
+    print(case.dashboards.latency_timeline(case.bench.records(), window))
+    print()
+    print("Fig. 4 — syscalls over time by thread name (source: DIO)\n")
+    print(case.dashboards.syscalls_over_time_chart(window))
+    print()
+    report = detect_contention(case.store, "dio_trace", window,
+                               session=case.session)
+    print(f"contended windows (>= {report.threshold} compaction threads): "
+          f"{len(report.contended_windows)}")
+    print(f"client syscalls/window: calm {report.client_rate_calm:.0f} vs "
+          f"contended {report.client_rate_contended:.0f} "
+          f"({report.client_slowdown:.1f}x slowdown)")
+    print(f"ring-buffer discards: {case.tracer.stats.drop_ratio * 100:.2f}%")
+    from repro.analysis.blame import blame_spikes, render_blame
+
+    print()
+    print("spike blame (busiest background threads per spike window):")
+    print(render_blame(blame_spikes(
+        case.store, case.bench.records(), window,
+        session=case.session, spike_factor=2.0)))
+    if args.export:
+        from repro.backend.persistence import export_session
+
+        count = export_session(case.store, case.session, args.export)
+        print(f"\nexported {count} events to {args.export}")
+    return 0
+
+
+def _load_traces(paths):
+    from repro.backend import DocumentStore
+    from repro.backend.persistence import import_session
+
+    store = DocumentStore()
+    sessions = [import_session(store, path) for path in paths]
+    return store, sessions
+
+
+def _cmd_sessions(args) -> int:
+    from repro.backend.persistence import list_sessions
+    from repro.visualizer import render_table
+
+    store, _ = _load_traces(args.traces)
+    rows = [[s["session"], s["events"],
+             f"{(s['last_ns'] - s['first_ns']) / 1e9:.3f} s",
+             ", ".join(s["processes"])]
+            for s in list_sessions(store)]
+    print(render_table(["session", "events", "span", "processes"], rows))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.detectors import run_detectors
+
+    store, sessions = _load_traces(args.traces)
+    exit_code = 0
+    for session in sessions:
+        print(f"=== findings for session {session!r} ===")
+        findings = run_detectors(store, session=session)
+        if not findings:
+            print("no issues detected")
+        for finding in findings:
+            print(f"  {finding}")
+            if finding.severity == "critical":
+                exit_code = 1
+        print()
+    return exit_code
+
+
+def _cmd_replay(args) -> int:
+    from repro.kernel import Kernel
+    from repro.sim import Environment
+    from repro.tracer.replay import TraceReplayer
+
+    store, sessions = _load_traces(args.traces)
+    for session in sessions:
+        env = Environment()
+        kernel = Kernel(env)
+        replayer = TraceReplayer.from_session(store, kernel, session,
+                                              timed=args.timed)
+        report = env.run(until=env.process(replayer.run()))
+        print(f"session {session!r}: replayed {report.issued} syscalls "
+              f"({report.skipped} skipped) in "
+              f"{report.duration_ns / 1e9:.3f} virtual seconds; "
+              f"return-value fidelity {report.fidelity * 100:.1f}%")
+        stats = kernel.device.stats
+        print(f"  disk: {stats.bytes_written:,} B written, "
+              f"{stats.bytes_read:,} B read")
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from repro.visualizer import Dashboard, load_predefined
+
+    store, sessions = _load_traces(args.traces)
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            dashboard = Dashboard.from_spec(handle.read())
+    else:
+        dashboard = load_predefined(args.name)
+    for session in sessions:
+        print(dashboard.render(store, session=session))
+        print()
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.compare import compare_sessions
+    from repro.visualizer import render_table
+
+    store, sessions = _load_traces([args.trace_a, args.trace_b])
+    session_a, session_b = sessions
+    comparison = compare_sessions(store, session_a, session_b)
+    print(f"comparing {session_a!r} (A) with {session_b!r} (B)\n")
+    if comparison.syscall_deltas:
+        rows = [[name, f"{delta:+d}"]
+                for name, delta in comparison.syscall_deltas.items()]
+        print(render_table(["syscall", "count B-A"], rows))
+        print()
+    if comparison.behaviorally_identical:
+        print("sessions are behaviorally identical "
+              f"({comparison.common_prefix} matching steps)")
+        return 0
+    print(f"identical for the first {comparison.common_prefix} steps; "
+          "first divergence:")
+    print(f"  {comparison.divergence.describe()}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.experiments import run_overhead_comparison
+    from repro.visualizer import render_table
+
+    result = run_overhead_comparison(ops_per_thread=args.ops)
+    print("Table II — execution time under each tracer "
+          "(same operation budget)\n")
+    print(render_table(
+        ["deployment", "execution time", "overhead",
+         "events w/o file path", "ring discards"],
+        result.table2_rows()))
+    return 0
+
+
+def _cmd_capabilities(_args) -> int:
+    from repro.baselines import capability_table
+
+    print("Table III — tool comparison\n")
+    print(capability_table())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="dio",
+        description="DIO (DSN 2023) reproduction: syscall-observability "
+                    "experiments on a simulated kernel.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_flb = sub.add_parser("fluentbit", help="§III-B data-loss diagnosis")
+    p_flb.add_argument("--version", choices=("1.4.0", "2.0.5"),
+                       default="1.4.0")
+    p_flb.add_argument("--export", metavar="PATH",
+                       help="save the traced session to a JSON-lines file")
+    p_flb.set_defaults(func=_cmd_fluentbit)
+
+    p_rdb = sub.add_parser("rocksdb", help="§III-C contention diagnosis")
+    p_rdb.add_argument("--duration", type=float, default=2.0,
+                       help="virtual seconds of db_bench load")
+    p_rdb.add_argument("--export", metavar="PATH",
+                       help="save the traced session to a JSON-lines file")
+    p_rdb.set_defaults(func=_cmd_rocksdb)
+
+    p_sessions = sub.add_parser("sessions",
+                                help="list sessions stored in trace files")
+    p_sessions.add_argument("traces", nargs="+", metavar="TRACE")
+    p_sessions.set_defaults(func=_cmd_sessions)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="run the misbehaviour detectors on trace files")
+    p_analyze.add_argument("traces", nargs="+", metavar="TRACE")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_compare = sub.add_parser(
+        "compare", help="diff two traced sessions' behaviour")
+    p_compare.add_argument("trace_a", metavar="TRACE_A")
+    p_compare.add_argument("trace_b", metavar="TRACE_B")
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-execute stored sessions on a fresh kernel")
+    p_replay.add_argument("traces", nargs="+", metavar="TRACE")
+    p_replay.add_argument("--timed", action="store_true",
+                          help="preserve recorded inter-event gaps")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="render a (predefined) dashboard over traces")
+    p_dash.add_argument("traces", nargs="+", metavar="TRACE")
+    p_dash.add_argument("--name", default="overview",
+                        help="predefined dashboard name (default: overview)")
+    p_dash.add_argument("--spec", metavar="JSON_FILE",
+                        help="custom dashboard spec file instead of --name")
+    p_dash.set_defaults(func=_cmd_dashboard)
+
+    p_ovh = sub.add_parser("overhead", help="Table II tracer comparison")
+    p_ovh.add_argument("--ops", type=int, default=1500,
+                       help="operations per client thread")
+    p_ovh.set_defaults(func=_cmd_overhead)
+
+    p_cap = sub.add_parser("capabilities", help="Table III feature matrix")
+    p_cap.set_defaults(func=_cmd_capabilities)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

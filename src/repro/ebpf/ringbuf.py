@@ -1,0 +1,166 @@
+"""Per-CPU ring buffers between kernel producers and user space.
+
+The defining property, faithfully kept from the paper (§III-D): the
+buffer has a fixed byte capacity, and when the kernel produces records
+faster than the user-space consumer drains them, records are
+discarded and counted.  DIO configured 256 MiB per CPU core and still
+discarded 3.5% of 549M syscalls under RocksDB load.
+
+Three overflow policies are supported, for the optimization study the
+paper's §V calls for:
+
+- ``drop-new`` (default) — reject the incoming record, like
+  ``BPF_MAP_TYPE_RINGBUF`` when ``reserve`` fails;
+- ``overwrite-oldest`` — evict queued records to make room, like a
+  perf buffer in overwrite mode (keeps the freshest data);
+- ``sample`` — above a fill watermark admit only every Nth record,
+  degrading gracefully instead of going blind in bursts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+#: Valid overflow policies.
+POLICIES = ("drop-new", "overwrite-oldest", "sample")
+#: Fill fraction at which the ``sample`` policy starts thinning.
+SAMPLE_WATERMARK = 0.75
+#: Admit 1 in N records while sampling.
+SAMPLE_STRIDE = 4
+
+
+class RingBufferStats:
+    """Produce/consume/drop counters across all CPUs."""
+
+    __slots__ = ("produced", "consumed", "dropped", "bytes_produced",
+                 "bytes_dropped", "max_fill_bytes")
+
+    def __init__(self) -> None:
+        self.produced = 0
+        self.consumed = 0
+        self.dropped = 0
+        self.bytes_produced = 0
+        self.bytes_dropped = 0
+        self.max_fill_bytes = 0
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fraction of offered records that were discarded."""
+        offered = self.produced + self.dropped
+        return self.dropped / offered if offered else 0.0
+
+    def as_dict(self) -> dict:
+        """Counters as a plain dict for reports."""
+        return {
+            "produced": self.produced,
+            "consumed": self.consumed,
+            "dropped": self.dropped,
+            "bytes_produced": self.bytes_produced,
+            "bytes_dropped": self.bytes_dropped,
+            "drop_ratio": self.drop_ratio,
+        }
+
+
+class _CPUBuffer:
+    """One CPU's contiguous buffer, tracked in bytes."""
+
+    __slots__ = ("capacity", "used", "records")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.used = 0
+        self.records: deque[tuple[int, Any]] = deque()
+
+
+class PerCPURingBuffer:
+    """A set of fixed-capacity per-CPU record queues."""
+
+    def __init__(self, ncpus: int, capacity_bytes_per_cpu: int,
+                 policy: str = "drop-new"):
+        if ncpus <= 0:
+            raise ValueError(f"ncpus must be positive, got {ncpus}")
+        if capacity_bytes_per_cpu <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; pick from {POLICIES}")
+        self.ncpus = ncpus
+        self.capacity_bytes_per_cpu = capacity_bytes_per_cpu
+        self.policy = policy
+        self._buffers = [_CPUBuffer(capacity_bytes_per_cpu) for _ in range(ncpus)]
+        self._sample_counter = 0
+        self.stats = RingBufferStats()
+
+    def produce(self, cpu: int, record: Any, size_bytes: int) -> bool:
+        """Offer a record from kernel space.
+
+        Returns ``False`` (and counts a drop) when the record is
+        discarded under the configured overflow policy.
+        """
+        if size_bytes <= 0:
+            raise ValueError(f"record size must be positive, got {size_bytes}")
+        buffer = self._buffers[cpu]
+
+        if self.policy == "sample":
+            if buffer.used + size_bytes > buffer.capacity * SAMPLE_WATERMARK:
+                self._sample_counter += 1
+                if self._sample_counter % SAMPLE_STRIDE != 0:
+                    self.stats.dropped += 1
+                    self.stats.bytes_dropped += size_bytes
+                    return False
+
+        if buffer.used + size_bytes > buffer.capacity:
+            if self.policy == "overwrite-oldest":
+                while (buffer.records
+                       and buffer.used + size_bytes > buffer.capacity):
+                    old_size, _ = buffer.records.popleft()
+                    buffer.used -= old_size
+                    self.stats.dropped += 1
+                    self.stats.bytes_dropped += old_size
+                if buffer.used + size_bytes > buffer.capacity:
+                    # Single record larger than the whole buffer.
+                    self.stats.dropped += 1
+                    self.stats.bytes_dropped += size_bytes
+                    return False
+            else:
+                self.stats.dropped += 1
+                self.stats.bytes_dropped += size_bytes
+                return False
+
+        buffer.records.append((size_bytes, record))
+        buffer.used += size_bytes
+        self.stats.produced += 1
+        self.stats.bytes_produced += size_bytes
+        self.stats.max_fill_bytes = max(self.stats.max_fill_bytes, buffer.used)
+        return True
+
+    def consume(self, cpu: int, max_records: Optional[int] = None) -> list:
+        """Drain up to ``max_records`` records from one CPU buffer."""
+        buffer = self._buffers[cpu]
+        out = []
+        while buffer.records and (max_records is None or len(out) < max_records):
+            size, record = buffer.records.popleft()
+            buffer.used -= size
+            out.append(record)
+        self.stats.consumed += len(out)
+        return out
+
+    def consume_all(self, max_records_per_cpu: Optional[int] = None) -> list:
+        """Drain every CPU buffer round-robin, oldest first per CPU."""
+        out = []
+        for cpu in range(self.ncpus):
+            out.extend(self.consume(cpu, max_records_per_cpu))
+        return out
+
+    def fill_bytes(self, cpu: int) -> int:
+        """Bytes currently queued on ``cpu``."""
+        return self._buffers[cpu].used
+
+    def pending_records(self) -> int:
+        """Total records queued across CPUs."""
+        return sum(len(b.records) for b in self._buffers)
+
+    def __repr__(self) -> str:
+        return (f"<PerCPURingBuffer ncpus={self.ncpus} "
+                f"pending={self.pending_records()} "
+                f"dropped={self.stats.dropped}>")

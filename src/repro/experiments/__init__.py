@@ -1,0 +1,32 @@
+"""End-to-end experiment harnesses reproducing the paper's evaluation.
+
+Each module wires kernel + applications + tracer(s) into one of the
+paper's experiments and returns structured results the benchmarks and
+examples assert on and render:
+
+- :mod:`repro.experiments.fluentbit_case` — §III-B / Fig. 2 (both
+  Fluent Bit versions traced by DIO).
+- :mod:`repro.experiments.rocksdb_case` — §III-C / Fig. 3 + Fig. 4
+  (db_bench under DIO with open/read/write/close tracing).
+- :mod:`repro.experiments.overhead` — §III-D / Table II (the same
+  workload under vanilla / sysdig / DIO / strace) and the ring-buffer
+  discard measurement.
+"""
+
+from repro.experiments.fluentbit_case import FluentBitCaseResult, run_fluentbit_case
+from repro.experiments.rocksdb_case import RocksDBCaseResult, run_rocksdb_case
+from repro.experiments.overhead import OverheadResult, run_overhead_comparison
+from repro.experiments.sqlite_case import (SQLiteCaseResult, run_both_modes,
+                                           run_sqlite_case)
+
+__all__ = [
+    "FluentBitCaseResult",
+    "run_fluentbit_case",
+    "RocksDBCaseResult",
+    "run_rocksdb_case",
+    "OverheadResult",
+    "run_overhead_comparison",
+    "SQLiteCaseResult",
+    "run_both_modes",
+    "run_sqlite_case",
+]

@@ -1,0 +1,92 @@
+"""§V extension case study: diagnosing an *unfamiliar* application.
+
+The paper's closing direction: use DIO on applications the user does
+not know, and let the trace expose the I/O patterns.  Here the target
+is a SQLite-style embedded database running a commit-heavy workload in
+its two journal modes.  DIO traces both executions; the detector
+battery and the session comparison then surface — without reading the
+application's code — why the DELETE-journal mode is slow:
+
+- a file is created, fsynced, and deleted for *every* transaction
+  (short-lived file churn),
+- every transaction pays two fsyncs instead of one.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.apps.sqlitedb import JOURNAL_DELETE, JOURNAL_WAL, MiniSQLite
+from repro.backend import DocumentStore
+from repro.kernel import Kernel
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+from repro.visualizer import DIODashboards
+
+
+class SQLiteCaseResult(NamedTuple):
+    """One traced run of the embedded database."""
+
+    journal_mode: str
+    store: DocumentStore
+    tracer: DIOTracer
+    db: MiniSQLite
+    dashboards: DIODashboards
+    commit_latencies_ns: list[int]
+    elapsed_ns: int
+
+    @property
+    def session(self) -> str:
+        return self.tracer.config.session_name
+
+    @property
+    def mean_commit_ns(self) -> float:
+        return float(np.mean(self.commit_latencies_ns))
+
+
+def run_sqlite_case(journal_mode: str, transactions: int = 120,
+                    pages_per_txn: int = 3,
+                    seed: int = 7) -> SQLiteCaseResult:
+    """Run the commit-heavy workload under DIO tracing."""
+    env = Environment()
+    kernel = Kernel(env, ncpus=2)
+    store = DocumentStore()
+    config = TracerConfig(session_name=f"sqlite-{journal_mode}")
+    tracer = DIOTracer(env, kernel, store, config)
+
+    process = kernel.spawn_process("sqlite-app")
+    task = process.threads[0]
+    db = MiniSQLite(kernel, "/data.db", journal_mode=journal_mode)
+    rng = np.random.default_rng(seed)
+    page_picks = rng.integers(0, 128, size=(transactions, pages_per_txn))
+    latencies: list[int] = []
+
+    tracer.attach()
+
+    def main():
+        yield from db.open(task)
+        start = env.now
+        for txn in range(transactions):
+            begin = env.now
+            yield from db.write_transaction(task, page_picks[txn].tolist())
+            latencies.append(env.now - begin)
+        yield from db.close(task)
+        elapsed = env.now - start
+        yield from tracer.shutdown()
+        return elapsed
+
+    elapsed = env.run(until=env.process(main()))
+    dashboards = DIODashboards(store, config.index,
+                               session=config.session_name)
+    return SQLiteCaseResult(journal_mode, store, tracer, db, dashboards,
+                            latencies, elapsed)
+
+
+def run_both_modes(transactions: int = 120) -> dict[str, SQLiteCaseResult]:
+    """The full case study: both journal modes, same workload."""
+    return {
+        JOURNAL_DELETE: run_sqlite_case(JOURNAL_DELETE, transactions),
+        JOURNAL_WAL: run_sqlite_case(JOURNAL_WAL, transactions),
+    }

@@ -1,0 +1,54 @@
+"""A simulated POSIX storage kernel.
+
+This package substitutes for the Linux kernel pieces DIO instruments:
+
+- :mod:`repro.kernel.vfs` — an inode-based virtual file system with
+  ext4-style lowest-free inode recycling (the trigger for the Fluent Bit
+  data-loss bug reproduced in the paper's §III-B).
+- :mod:`repro.kernel.pagecache` / :mod:`repro.kernel.blockdev` — an LRU
+  page cache in front of a bandwidth- and latency-modelled block device
+  with a bounded queue, which makes multi-threaded I/O contention (the
+  paper's §III-C RocksDB use case) emerge on the virtual clock.
+- :mod:`repro.kernel.process` — processes and threads with PIDs, TIDs,
+  and ``comm`` names, sharing per-process file-descriptor tables.
+- :mod:`repro.kernel.syscalls` — the 42 storage-related system calls of
+  the paper's Table I, instrumented with entry/exit tracepoints.
+- :mod:`repro.kernel.tracepoints` — the attach points used by the eBPF
+  layer (:mod:`repro.ebpf`) and by the strace-style baseline tracer.
+"""
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.inode import FileType, Inode
+from repro.kernel.vfs import VirtualFileSystem
+from repro.kernel.blockdev import BlockDevice
+from repro.kernel.pagecache import PageCache
+from repro.kernel.process import KernelProcess, Task
+from repro.kernel.syscalls import Kernel, SYSCALLS, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC, O_APPEND, O_EXCL, O_DIRECTORY, SEEK_SET, SEEK_CUR, SEEK_END
+from repro.kernel.tracepoints import TracepointRegistry, SyscallContext
+
+__all__ = [
+    "Errno",
+    "KernelError",
+    "FileType",
+    "Inode",
+    "VirtualFileSystem",
+    "BlockDevice",
+    "PageCache",
+    "KernelProcess",
+    "Task",
+    "Kernel",
+    "SYSCALLS",
+    "TracepointRegistry",
+    "SyscallContext",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_TRUNC",
+    "O_APPEND",
+    "O_EXCL",
+    "O_DIRECTORY",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+]

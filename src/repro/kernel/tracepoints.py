@@ -1,0 +1,118 @@
+"""Syscall tracepoints: the kernel's instrumentation attach points.
+
+Mirrors the ``sys_enter_<name>`` / ``sys_exit_<name>`` tracepoints DIO
+attaches its eBPF programs to.  A handler is a callable receiving a
+:class:`SyscallContext`; whatever integer it returns is interpreted as
+the number of nanoseconds of synchronous overhead it adds to the traced
+syscall — this is how the strace trap cost, the eBPF program cost, and
+the enrichment cost enter the virtual clock and ultimately produce the
+paper's Table II overhead comparison.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Optional
+
+from repro.kernel.process import Task
+
+#: A tracepoint handler: SyscallContext -> overhead_ns (int or None).
+Handler = Callable[["SyscallContext"], Optional[int]]
+
+
+class SyscallContext:
+    """Everything a tracepoint handler can observe about one syscall.
+
+    At ``sys_enter`` the return-value fields are unset; at ``sys_exit``
+    the full record is visible.  ``kernel_extras`` carries the kernel
+    context DIO's enrichment reads (file type, offset, inode identity).
+    """
+
+    __slots__ = ("name", "task", "args", "enter_ns", "exit_ns",
+                 "retval", "kernel_extras")
+
+    def __init__(self, name: str, task: Task, args: dict[str, Any], enter_ns: int):
+        self.name = name
+        self.task = task
+        #: Decoded syscall arguments (by name, matching the man page).
+        self.args = args
+        self.enter_ns = enter_ns
+        self.exit_ns: Optional[int] = None
+        #: Return value; negative values are ``-errno``.
+        self.retval: Optional[int] = None
+        #: Kernel-internal context available to enrichment: keys include
+        #: ``file_type``, ``offset``, ``dev``, ``ino``, ``generation``,
+        #: ``inode_birth_ns`` when the syscall touches a file.
+        self.kernel_extras: dict[str, Any] = {}
+
+    @property
+    def pid(self) -> int:
+        return self.task.pid
+
+    @property
+    def tid(self) -> int:
+        return self.task.tid
+
+    @property
+    def comm(self) -> str:
+        return self.task.comm
+
+    def __repr__(self) -> str:
+        return (f"<SyscallContext {self.name} tid={self.tid} "
+                f"ret={self.retval}>")
+
+
+class TracepointRegistry:
+    """Attach/detach handlers on syscall entry and exit tracepoints."""
+
+    def __init__(self) -> None:
+        self._enter: defaultdict[str, list[Handler]] = defaultdict(list)
+        self._exit: defaultdict[str, list[Handler]] = defaultdict(list)
+
+    def attach_enter(self, syscall: str, handler: Handler) -> None:
+        """Attach ``handler`` to ``sys_enter_<syscall>``."""
+        self._enter[syscall].append(handler)
+
+    def attach_exit(self, syscall: str, handler: Handler) -> None:
+        """Attach ``handler`` to ``sys_exit_<syscall>``."""
+        self._exit[syscall].append(handler)
+
+    def detach_enter(self, syscall: str, handler: Handler) -> None:
+        """Remove a previously attached entry handler."""
+        self._enter[syscall].remove(handler)
+
+    def detach_exit(self, syscall: str, handler: Handler) -> None:
+        """Remove a previously attached exit handler."""
+        self._exit[syscall].remove(handler)
+
+    def detach_all(self) -> None:
+        """Remove every handler (tracer shutdown)."""
+        self._enter.clear()
+        self._exit.clear()
+
+    def has_handlers(self, syscall: str) -> bool:
+        """``True`` if any handler is attached to ``syscall``."""
+        return bool(self._enter.get(syscall)) or bool(self._exit.get(syscall))
+
+    def attached_syscalls(self) -> set[str]:
+        """Names of syscalls with at least one handler."""
+        return ({name for name, hs in self._enter.items() if hs}
+                | {name for name, hs in self._exit.items() if hs})
+
+    def fire_enter(self, ctx: SyscallContext) -> int:
+        """Run entry handlers; return their summed overhead in ns."""
+        overhead = 0
+        for handler in self._enter.get(ctx.name, ()):
+            cost = handler(ctx)
+            if cost:
+                overhead += int(cost)
+        return overhead
+
+    def fire_exit(self, ctx: SyscallContext) -> int:
+        """Run exit handlers; return their summed overhead in ns."""
+        overhead = 0
+        for handler in self._exit.get(ctx.name, ()):
+            cost = handler(ctx)
+            if cost:
+                overhead += int(cost)
+        return overhead

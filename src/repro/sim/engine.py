@@ -1,0 +1,312 @@
+"""Virtual-time event loop.
+
+The engine measures time in integer nanoseconds.  An
+:class:`Environment` owns a priority queue of scheduled events; calling
+:meth:`Environment.run` pops events in timestamp order and fires their
+callbacks.  Processes (see :mod:`repro.sim.process`) are themselves
+events that trigger when their generator finishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+#: Priority for events that must fire before ordinary events at the same
+#: timestamp (e.g. interrupts).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation engine."""
+
+
+class Event:
+    """An occurrence that processes can wait on.
+
+    An event starts *pending*; it becomes *triggered* once scheduled with
+    a value (or an exception), and *processed* after its callbacks ran.
+    Callbacks receive the event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    #: Sentinel for "no value yet".
+    PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event.PENDING
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event carries a value rather than an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception), available once triggered."""
+        if self._value is Event.PENDING:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process will have the exception thrown into it.
+        """
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = int(delay)
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env.schedule(self, delay=self.delay)
+
+
+class ConditionValue:
+    """Mapping of events to values for :class:`AnyOf`/:class:`AllOf`."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def of(self, event: Event) -> Any:
+        """Return the value ``event`` fired with."""
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.events!r}>"
+
+
+class _Condition(Event):
+    """Base for composite events over several sub-events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+            if event.callbacks is None:
+                self._on_event(event)
+            else:
+                event.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> ConditionValue:
+        value = ConditionValue()
+        value.events = [e for e in self._events if e.triggered]
+        return value
+
+
+class AnyOf(_Condition):
+    """Fires when any sub-event fires (first failure propagates)."""
+
+    __slots__ = ()
+
+    def _on_event(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once all sub-events fired (first failure propagates)."""
+
+    __slots__ = ()
+
+    def _on_event(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Environment:
+    """A deterministic virtual-time event loop.
+
+    Time is kept as integer nanoseconds in :attr:`now`.  Events scheduled
+    at the same timestamp fire in (priority, insertion) order, which
+    makes runs fully reproducible.
+    """
+
+    def __init__(self, initial_time: int = 0):
+        self._now = int(initial_time)
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._active_process = None
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        """Queue ``event`` to fire ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new cooperative process driving ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` fired."""
+        return AllOf(self, events)
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next scheduled event, or ``None`` if idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), an integer
+        timestamp (run up to and including that time), or an
+        :class:`Event` (run until it has been processed, returning its
+        value or raising its exception).
+        """
+        stop_at: Optional[int] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_at = int(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} lies in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_at is not None and self._queue[0][0] > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    def run_all(self, max_events: int = 50_000_000) -> None:
+        """Run until the queue drains, guarding against runaway loops."""
+        count = 0
+        while self._queue:
+            self.step()
+            count += 1
+            if count >= max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")

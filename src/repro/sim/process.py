@@ -1,0 +1,117 @@
+"""Cooperative processes driven by Python generators.
+
+A process advances by yielding :class:`~repro.sim.engine.Event` objects;
+the engine resumes it with the event's value once the event fires.  A
+process is itself an event that triggers when its generator returns (the
+return value becomes the event value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Event, SimulationError, URGENT
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator as a schedulable simulation process."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current time.  The bootstrap
+        # event is tracked as the current target so that interrupting a
+        # process *before it ever ran* detaches it — otherwise the
+        # stale bootstrap would resume the already-finished process.
+        initial = Event(env)
+        initial._ok = True
+        initial._value = None
+        initial._triggered = True
+        initial.callbacks.append(self._resume)
+        self._target = initial
+        env.schedule(initial, delay=0)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return not self._triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process stops waiting on its current target and resumes
+        immediately with the exception.  Interrupting a finished process
+        is an error.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._triggered = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, delay=0, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        # If we were interrupted, detach from the event we were waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        self.env._active_process = self
+        try:
+            while True:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    next_event = self._generator.throw(event.value)
+                if not isinstance(next_event, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {next_event!r}")
+                if next_event.env is not self.env:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded an event from another environment")
+                if next_event.callbacks is not None:
+                    # Still pending or triggered-but-unprocessed: wait for it.
+                    self._target = next_event
+                    next_event.callbacks.append(self._resume)
+                    break
+                # Already processed: feed its value straight back in.
+                event = next_event
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except Interrupt as exc:
+            # An interrupt that escapes the generator terminates it quietly
+            # with the interrupt cause as value (daemon-style shutdown).
+            self.succeed(exc.cause)
+        except BaseException as exc:
+            self.fail(exc)
+        finally:
+            self.env._active_process = None
+
+    def __repr__(self) -> str:
+        state = "done" if self._triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,141 @@
+"""Tracer configuration.
+
+Mirrors DIO's configuration file (§II-F): which syscalls to enable
+tracepoints for, PID/TID/path filters, ring-buffer sizing, batching,
+and the backend target — plus the simulation cost model that stands in
+for hardware speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tomllib
+from typing import Optional
+
+from repro.kernel.syscalls import SYSCALLS
+
+
+@dataclasses.dataclass
+class TracerConfig:
+    """All knobs of the DIO tracer."""
+
+    # -- tracing scope (paper §II-B) -----------------------------------
+    #: Syscalls to enable tracepoints for; ``None`` = all 42 supported.
+    syscalls: Optional[frozenset[str]] = None
+    #: Only record events from these PIDs (``None`` = no PID filter).
+    pids: Optional[frozenset[int]] = None
+    #: Only record events from these TIDs (``None`` = no TID filter).
+    tids: Optional[frozenset[int]] = None
+    #: Only record events touching files under these path prefixes.
+    paths: Optional[tuple[str, ...]] = None
+
+    # -- session / backend ----------------------------------------------
+    #: Unique label distinguishing tracing executions at the backend.
+    session_name: str = "dio-session"
+    #: Backend index events are shipped to.
+    index: str = "dio_trace"
+    #: Run the file-path correlation automatically when tracing stops.
+    correlate_on_stop: bool = True
+
+    # -- ring buffer (paper §III-D: 256 MiB per CPU core) ---------------
+    ring_capacity_bytes_per_cpu: int = 256 * 1024 * 1024
+    #: Overflow policy: "drop-new" (eBPF ringbuf semantics, the paper's
+    #: behaviour), "overwrite-oldest", or "sample" (see the §V study).
+    ring_policy: str = "drop-new"
+
+    # -- user-space consumer / shipper ----------------------------------
+    #: Events per bulk request to the backend.
+    batch_size: int = 512
+    #: Consumer poll interval when the ring buffers are empty (ns).
+    poll_interval_ns: int = 200_000
+    #: User-space cost to parse one raw record into a JSON event (ns).
+    parse_ns_per_event: int = 1_500
+    #: Fixed network+indexing cost per bulk request (ns).
+    ship_base_ns: int = 1_500_000
+    #: Incremental cost per event in a bulk request (ns).
+    ship_ns_per_event: int = 500
+    #: Bulk-request attempts before a backend failure is fatal.
+    ship_max_retries: int = 5
+    #: Linear backoff between bulk retries (ns).
+    ship_retry_backoff_ns: int = 10_000_000
+
+    # -- in-kernel cost model (drives Table II overheads) ---------------
+    #: Cost of the sys_enter eBPF program (stash args + timestamp).
+    enter_cost_ns: int = 700
+    #: Cost of the sys_exit eBPF program (pair, filter, enrich, output).
+    exit_cost_ns: int = 3_100
+
+    def __post_init__(self) -> None:
+        if self.syscalls is not None:
+            self.syscalls = frozenset(self.syscalls)
+            unknown = self.syscalls - SYSCALLS
+            if unknown:
+                raise ValueError(f"unsupported syscalls: {sorted(unknown)}")
+        if self.pids is not None:
+            self.pids = frozenset(self.pids)
+        if self.tids is not None:
+            self.tids = frozenset(self.tids)
+        if self.paths is not None:
+            self.paths = tuple(self.paths)
+            for path in self.paths:
+                if not path.startswith("/"):
+                    raise ValueError(f"path filter must be absolute: {path!r}")
+        if self.ring_capacity_bytes_per_cpu <= 0:
+            raise ValueError("ring capacity must be positive")
+        from repro.ebpf.ringbuf import POLICIES
+        if self.ring_policy not in POLICIES:
+            raise ValueError(f"unknown ring policy {self.ring_policy!r}")
+        if self.batch_size <= 0:
+            raise ValueError("batch size must be positive")
+
+    @property
+    def enabled_syscalls(self) -> frozenset[str]:
+        """The syscalls whose tracepoints will be enabled."""
+        return self.syscalls if self.syscalls is not None else frozenset(SYSCALLS)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "TracerConfig":
+        """Parse a TOML configuration document.
+
+        Example::
+
+            [tracer]
+            syscalls = ["open", "read", "write", "close"]
+            pids = [1001]
+            paths = ["/tmp"]
+            session_name = "run-42"
+
+            [ring_buffer]
+            capacity_mib_per_cpu = 256
+
+            [backend]
+            index = "dio_trace"
+            batch_size = 512
+        """
+        data = tomllib.loads(text)
+        tracer = data.get("tracer", {})
+        ring = data.get("ring_buffer", {})
+        backend = data.get("backend", {})
+        kwargs: dict = {}
+        if "syscalls" in tracer:
+            kwargs["syscalls"] = frozenset(tracer["syscalls"])
+        if "pids" in tracer:
+            kwargs["pids"] = frozenset(tracer["pids"])
+        if "tids" in tracer:
+            kwargs["tids"] = frozenset(tracer["tids"])
+        if "paths" in tracer:
+            kwargs["paths"] = tuple(tracer["paths"])
+        if "session_name" in tracer:
+            kwargs["session_name"] = tracer["session_name"]
+        if "capacity_mib_per_cpu" in ring:
+            kwargs["ring_capacity_bytes_per_cpu"] = (
+                int(ring["capacity_mib_per_cpu"]) * 1024 * 1024)
+        if "policy" in ring:
+            kwargs["ring_policy"] = ring["policy"]
+        if "index" in backend:
+            kwargs["index"] = backend["index"]
+        if "batch_size" in backend:
+            kwargs["batch_size"] = int(backend["batch_size"])
+        if "correlate_on_stop" in backend:
+            kwargs["correlate_on_stop"] = bool(backend["correlate_on_stop"])
+        return cls(**kwargs)

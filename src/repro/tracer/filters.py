@@ -1,0 +1,98 @@
+"""In-kernel event filtering (paper §II-B).
+
+DIO filters events *before* they are copied to user space, by:
+
+1. syscall type — implicitly, by only attaching tracepoints for the
+   requested syscalls;
+2. process / thread IDs;
+3. file or directory paths.
+
+Path filtering is the subtle one: most syscalls carry an fd, not a
+path.  The kernel half therefore tracks which open file descriptions
+were opened under a matching path in a BPF hash map keyed by
+``(pid, fd)``, populated at ``open``/``openat``/``creat`` exit and
+cleaned at ``close`` exit — so fd-based syscalls can be filtered with a
+single map lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ebpf.maps import BPFHashMap
+from repro.kernel.tracepoints import SyscallContext
+
+#: Syscalls carrying a path argument under ``args["path"]``.
+_PATH_ARG_SYSCALLS = frozenset({
+    "open", "openat", "creat", "stat", "lstat", "fstatat", "truncate",
+    "unlink", "unlinkat", "mknod", "mknodat", "mkdir", "mkdirat", "rmdir",
+    "getxattr", "lgetxattr", "setxattr", "lsetxattr", "listxattr",
+    "llistxattr", "removexattr", "lremovexattr",
+})
+#: Syscalls whose first argument is a file descriptor.
+_FD_ARG_SYSCALLS = frozenset({
+    "close", "read", "pread64", "readv", "write", "pwrite64", "writev",
+    "lseek", "ftruncate", "fsync", "fdatasync", "fstat", "fstatfs",
+    "fgetxattr", "fsetxattr", "flistxattr", "fremovexattr",
+})
+#: Syscalls carrying two paths (either matching passes the filter).
+_RENAME_SYSCALLS = frozenset({"rename", "renameat", "renameat2"})
+
+_OPEN_SYSCALLS = frozenset({"open", "openat", "creat"})
+
+
+class KernelFilter:
+    """The kernel-space filter pipeline applied at ``sys_exit``."""
+
+    def __init__(self, pids: Optional[frozenset[int]] = None,
+                 tids: Optional[frozenset[int]] = None,
+                 paths: Optional[tuple[str, ...]] = None,
+                 fd_map_entries: int = 10240):
+        self.pids = pids
+        self.tids = tids
+        self.paths = tuple(paths) if paths else None
+        #: (pid, fd) -> True for fds opened under a matching path.
+        self._tracked_fds = BPFHashMap(max_entries=fd_map_entries,
+                                       name="dio_tracked_fds")
+        self.rejected = 0
+
+    def _path_matches(self, path: Optional[str]) -> bool:
+        if not isinstance(path, str):
+            return False
+        for prefix in self.paths:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                return True
+        return False
+
+    def _passes_path_filter(self, ctx: SyscallContext) -> bool:
+        name = ctx.name
+        if name in _RENAME_SYSCALLS:
+            return (self._path_matches(ctx.args.get("oldpath"))
+                    or self._path_matches(ctx.args.get("newpath")))
+        if name in _OPEN_SYSCALLS:
+            matched = self._path_matches(ctx.args.get("path"))
+            if matched and ctx.retval is not None and ctx.retval >= 0:
+                self._tracked_fds.update((ctx.pid, ctx.retval), True)
+            return matched
+        if name in _PATH_ARG_SYSCALLS:
+            return self._path_matches(ctx.args.get("path"))
+        if name in _FD_ARG_SYSCALLS:
+            key = (ctx.pid, ctx.args.get("fd"))
+            tracked = self._tracked_fds.lookup(key) is not None
+            if name == "close" and tracked:
+                self._tracked_fds.delete(key)
+            return tracked
+        return False
+
+    def accepts(self, ctx: SyscallContext) -> bool:
+        """Apply PID, TID, and path filters to a completed syscall."""
+        if self.pids is not None and ctx.pid not in self.pids:
+            self.rejected += 1
+            return False
+        if self.tids is not None and ctx.tid not in self.tids:
+            self.rejected += 1
+            return False
+        if self.paths is not None and not self._passes_path_filter(ctx):
+            self.rejected += 1
+            return False
+        return True

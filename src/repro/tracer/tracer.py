@@ -1,0 +1,263 @@
+"""The DIO tracer: eBPF collection + asynchronous shipping.
+
+Flow of events (paper Fig. 1):
+
+1. ``attach()`` loads two eBPF programs per enabled syscall: the
+   ``sys_enter`` program stashes the entry timestamp in a BPF hash map
+   keyed by TID; the ``sys_exit`` program pairs entry and exit *in
+   kernel space*, applies the kernel filters, runs enrichment, and
+   reserves a record in the per-CPU ring buffer (dropping the event if
+   the buffer is full).
+2. The user-space consumer — its own simulation process, never blocking
+   the traced application — polls the ring buffers, parses raw records
+   into JSON events, and ships them to the backend in batches via the
+   bulk API.
+3. ``stop()`` detaches the programs; the consumer drains what remains
+   and optionally runs the file-path correlation for the session.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.correlation import CorrelationReport, FilePathCorrelator
+from repro.backend.store import DocumentStore
+from repro.ebpf.maps import BPFHashMap
+from repro.ebpf.program import EBPFProgram, ProgramType
+from repro.ebpf.ringbuf import PerCPURingBuffer
+from repro.kernel.syscalls import Kernel
+from repro.kernel.tracepoints import SyscallContext
+from repro.sim import Environment
+
+from repro.tracer.config import TracerConfig
+from repro.tracer.enrichment import ENRICHMENT_COST_NS, Enricher
+from repro.tracer.events import Event, estimate_record_size
+from repro.tracer.filters import KernelFilter
+
+
+class TracerStats:
+    """Aggregate view over the tracer's lifetime."""
+
+    def __init__(self, tracer: "DIOTracer"):
+        self._tracer = tracer
+
+    @property
+    def produced(self) -> int:
+        """Records accepted into the ring buffers."""
+        return self._tracer.ring.stats.produced
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded because a ring buffer was full (§III-D)."""
+        return self._tracer.ring.stats.dropped
+
+    @property
+    def drop_ratio(self) -> float:
+        """Dropped / offered."""
+        return self._tracer.ring.stats.drop_ratio
+
+    @property
+    def filtered_out(self) -> int:
+        """Events rejected in kernel space by PID/TID/path filters."""
+        return self._tracer.filter.rejected
+
+    @property
+    def shipped(self) -> int:
+        """Events indexed at the backend."""
+        return self._tracer._shipped
+
+    @property
+    def batches(self) -> int:
+        """Bulk requests issued."""
+        return self._tracer._batches
+
+    @property
+    def ship_retries(self) -> int:
+        """Bulk requests retried after transient backend failures."""
+        return self._tracer._ship_retries
+
+    def as_dict(self) -> dict:
+        """All counters as a plain dict."""
+        return {
+            "produced": self.produced,
+            "dropped": self.dropped,
+            "drop_ratio": self.drop_ratio,
+            "filtered_out": self.filtered_out,
+            "shipped": self.shipped,
+            "batches": self.batches,
+            "ship_retries": self.ship_retries,
+        }
+
+
+class DIOTracer:
+    """Traces one kernel's syscalls into a backend index."""
+
+    def __init__(self, env: Environment, kernel: Kernel,
+                 store: DocumentStore,
+                 config: Optional[TracerConfig] = None):
+        self.env = env
+        self.kernel = kernel
+        self.store = store
+        self.config = config or TracerConfig()
+
+        self.ring = PerCPURingBuffer(
+            ncpus=kernel.ncpus,
+            capacity_bytes_per_cpu=self.config.ring_capacity_bytes_per_cpu,
+            policy=self.config.ring_policy)
+        self.filter = KernelFilter(self.config.pids, self.config.tids,
+                                   self.config.paths)
+        self.enricher = Enricher()
+        #: TID -> entry timestamp; the kernel-space pairing state.
+        self._inflight = BPFHashMap(max_entries=65536, name="dio_inflight")
+
+        self._enter_prog = EBPFProgram(
+            "dio_sys_enter", ProgramType.SYS_ENTER, self._on_enter,
+            cost_ns=self.config.enter_cost_ns)
+        self._exit_prog = EBPFProgram(
+            "dio_sys_exit", ProgramType.SYS_EXIT, self._on_exit,
+            cost_ns=self.config.exit_cost_ns)
+
+        self._running = False
+        self._consumer = None
+        self._consume_cursor = 0
+        self._shipped = 0
+        self._batches = 0
+        self._ship_retries = 0
+        self.correlation_report: Optional[CorrelationReport] = None
+        self.stats = TracerStats(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def attach(self) -> None:
+        """Enable tracepoints and start the user-space consumer."""
+        if self._running:
+            raise RuntimeError("tracer is already attached")
+        for syscall in sorted(self.config.enabled_syscalls):
+            self._enter_prog.attach(self.kernel.tracepoints, syscall)
+            self._exit_prog.attach(self.kernel.tracepoints, syscall)
+        self.store.ensure_index(
+            self.config.index,
+            indexed_fields=("syscall", "proc_name", "pid", "tid",
+                            "file_tag", "session"))
+        self._running = True
+        self._consumer = self.env.process(self._consume_loop())
+
+    def stop(self) -> None:
+        """Disable tracepoints; the consumer drains remaining records."""
+        if not self._running:
+            return
+        self._enter_prog.detach_all()
+        self._exit_prog.detach_all()
+        self._running = False
+
+    def drain(self):
+        """Process generator: wait until the consumer finished draining."""
+        if self._consumer is not None:
+            yield self._consumer
+
+    def shutdown(self):
+        """Process generator: stop, drain, and correlate (if configured)."""
+        self.stop()
+        yield from self.drain()
+        if self.config.correlate_on_stop:
+            self.correlation_report = FilePathCorrelator(self.store).correlate(
+                self.config.index, session=self.config.session_name)
+
+    # ------------------------------------------------------------------
+    # Kernel space (eBPF programs)
+
+    def _on_enter(self, ctx: SyscallContext) -> Optional[int]:
+        self._inflight.update(ctx.tid, ctx.enter_ns)
+        return None
+
+    def _on_exit(self, ctx: SyscallContext) -> Optional[int]:
+        enter_ns = self._inflight.pop(ctx.tid)
+        if enter_ns is None:
+            # Entry record lost (map pressure); fall back to the
+            # context's own entry timestamp rather than dropping.
+            enter_ns = ctx.enter_ns
+        if not self.filter.accepts(ctx):
+            return None
+        enrichment = self.enricher.enrich(ctx)
+        record = {
+            "syscall": ctx.name,
+            "args": ctx.args,
+            "ret": ctx.retval,
+            "pid": ctx.pid,
+            "tid": ctx.tid,
+            "comm": ctx.comm,
+            "enter_ns": enter_ns,
+            "exit_ns": ctx.exit_ns,
+            **enrichment,
+        }
+        size = estimate_record_size(ctx.name, ctx.args)
+        self.ring.produce(ctx.task.cpu, record, size)
+        return ENRICHMENT_COST_NS if enrichment else None
+
+    # ------------------------------------------------------------------
+    # User space (consumer process)
+
+    def _take_batch(self) -> list:
+        """Round-robin drain of up to ``batch_size`` records."""
+        batch: list = []
+        ncpus = self.ring.ncpus
+        for step in range(ncpus):
+            cpu = (self._consume_cursor + step) % ncpus
+            room = self.config.batch_size - len(batch)
+            if room <= 0:
+                break
+            batch.extend(self.ring.consume(cpu, room))
+        self._consume_cursor = (self._consume_cursor + 1) % ncpus
+        return batch
+
+    def _parse(self, record: dict) -> Event:
+        return Event(
+            syscall=record["syscall"],
+            args=record["args"],
+            ret=record["ret"],
+            pid=record["pid"],
+            tid=record["tid"],
+            proc_name=record["comm"],
+            time=record["enter_ns"],
+            time_exit=record["exit_ns"],
+            file_type=record.get("file_type"),
+            offset=record.get("offset"),
+            file_tag=record.get("file_tag"),
+            session=self.config.session_name,
+        )
+
+    def _consume_loop(self):
+        config = self.config
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                if not self._running:
+                    break
+                yield self.env.timeout(config.poll_interval_ns)
+                continue
+            # Parse raw records into JSON events (user-space CPU).
+            yield self.env.timeout(config.parse_ns_per_event * len(batch))
+            events = [self._parse(record) for record in batch]
+            # Ship a bucket of events with one bulk request.  Transient
+            # backend failures are retried with backoff; the events are
+            # already out of the ring buffer, so nothing is lost — the
+            # application is unaffected either way (asynchronous path).
+            docs = [event.to_doc() for event in events]
+            attempt = 0
+            while True:
+                yield self.env.timeout(
+                    config.ship_base_ns
+                    + config.ship_ns_per_event * len(events))
+                try:
+                    self.store.bulk(config.index, docs)
+                    break
+                except Exception:
+                    attempt += 1
+                    self._ship_retries += 1
+                    if attempt >= config.ship_max_retries:
+                        raise
+                    yield self.env.timeout(
+                        config.ship_retry_backoff_ns * attempt)
+            self._shipped += len(events)
+            self._batches += 1

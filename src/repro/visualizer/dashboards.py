@@ -1,0 +1,244 @@
+"""DIO's predefined dashboards (the figures of the paper's §III).
+
+Each method both returns the underlying structured data and can render
+it as text, mirroring how the real tool pairs Elasticsearch queries
+with Kibana visualizations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.contention import syscall_counts_by_thread
+from repro.analysis.latency import percentile_series
+from repro.backend.store import DocumentStore
+
+from repro.visualizer.render import (render_heatmap, render_sparkline_grid,
+                                     render_table, render_timeseries)
+
+
+class DIODashboards:
+    """Dashboards over one backend index (optionally one session)."""
+
+    def __init__(self, store: DocumentStore, index: str = "dio_trace",
+                 session: Optional[str] = None):
+        self.store = store
+        self.index = index
+        self.session = session
+
+    def _base_query(self, extra: Optional[list] = None) -> dict:
+        must: list = list(extra or [])
+        if self.session:
+            must.append({"term": {"session": self.session}})
+        if not must:
+            return {"match_all": {}}
+        return {"bool": {"must": must}}
+
+    # ------------------------------------------------------------------
+    # Fig. 2: tabular file-access view
+
+    FILE_ACCESS_COLUMNS = ("time", "proc_name", "syscall", "ret",
+                           "file_tag", "offset")
+
+    def file_access_rows(self, procs: Optional[Iterable[str]] = None,
+                         syscalls: Optional[Iterable[str]] = None,
+                         path: Optional[str] = None) -> list[dict]:
+        """The event rows of a Fig. 2-style table, sorted by time."""
+        extra: list = []
+        if procs:
+            extra.append({"terms": {"proc_name": list(procs)}})
+        if syscalls:
+            extra.append({"terms": {"syscall": list(syscalls)}})
+        if path:
+            extra.append({"bool": {
+                "should": [
+                    {"term": {"file_path": path}},
+                    {"term": {"args.path": path}},
+                ],
+            }})
+        response = self.store.search(self.index,
+                                     query=self._base_query(extra),
+                                     sort=["time"], size=None)
+        return [hit["_source"] for hit in response["hits"]["hits"]]
+
+    def file_access_table(self, procs: Optional[Iterable[str]] = None,
+                          syscalls: Optional[Iterable[str]] = None,
+                          path: Optional[str] = None) -> str:
+        """Render the Fig. 2 tabular visualization."""
+        rows = []
+        for event in self.file_access_rows(procs, syscalls, path):
+            rows.append([
+                f"{event['time']:,}",
+                event["proc_name"],
+                event["syscall"],
+                event["ret"],
+                event.get("file_tag", ""),
+                event.get("offset", ""),
+            ])
+        return render_table(
+            ["time", "proc_name", "syscall", "ret_val",
+             "file_tag (dev_no ino_no timestamp)", "offset"], rows)
+
+    # ------------------------------------------------------------------
+    # Fig. 4: syscalls over time by thread name
+
+    def syscalls_over_time(self, window_ns: int) -> dict:
+        """``window -> {thread: count}`` (date_histogram + terms)."""
+        return syscall_counts_by_thread(self.store, self.index, window_ns,
+                                        self.session)
+
+    def syscalls_over_time_chart(self, window_ns: int) -> str:
+        """Render the Fig. 4 per-thread activity grid."""
+        data = self.syscalls_over_time(window_ns)
+        if not data:
+            return "(no data)"
+        windows = sorted(data)
+        lo, hi = windows[0], windows[-1]
+        full = list(range(lo, hi + window_ns, window_ns))
+        groups: dict[str, dict[int, float]] = {}
+        for window, threads in data.items():
+            for thread, count in threads.items():
+                groups.setdefault(thread, {})[window] = count
+        header = (f"syscalls issued over time, aggregated by thread name "
+                  f"(window = {window_ns / 1e6:.0f} ms)")
+        return header + "\n" + render_sparkline_grid(full, groups)
+
+    # ------------------------------------------------------------------
+    # Fig. 3: tail-latency timeline (source: db_bench, as in the paper)
+
+    @staticmethod
+    def latency_timeline(operations: Sequence[tuple[int, int, str, int]],
+                         window_ns: int, percent: float = 99.0,
+                         op: Optional[str] = None) -> str:
+        """Render the Fig. 3 p99-latency-over-time chart.
+
+        Like the paper's Fig. 3, the data comes from the benchmark's own
+        latency records rather than from traced syscalls.
+        """
+        series = percentile_series(operations, window_ns, percent, op)
+        points = [(p.window_start_ns, p.value_ns / 1e6) for p in series]
+        title = f"p{percent:g} client latency (ms) per {window_ns / 1e6:.0f} ms window"
+        return title + "\n" + render_timeseries(points, unit=" ms")
+
+    # ------------------------------------------------------------------
+    # Offset access map (the enrichment §III-B depends on)
+
+    def offset_events(self, file_path: Optional[str] = None,
+                      file_tag: Optional[str] = None) -> list[dict]:
+        """Data-syscall events with offsets for one file, by time."""
+        extra: list = [
+            {"terms": {"syscall": ["read", "pread64", "readv",
+                                   "write", "pwrite64", "writev"]}},
+            {"exists": {"field": "offset"}},
+        ]
+        if file_path:
+            extra.append({"term": {"file_path": file_path}})
+        if file_tag:
+            extra.append({"term": {"file_tag": file_tag}})
+        response = self.store.search(self.index,
+                                     query=self._base_query(extra),
+                                     sort=["time"], size=None)
+        return [hit["_source"] for hit in response["hits"]["hits"]]
+
+    def offset_heatmap(self, file_path: Optional[str] = None,
+                       file_tag: Optional[str] = None,
+                       time_buckets: int = 60,
+                       offset_buckets: int = 16) -> str:
+        """File-offset-over-time access map (IOscope-style).
+
+        Sequential access renders as a rising diagonal, random access
+        as scatter — making the paper's "costly access patterns"
+        recognizable at a glance.
+        """
+        events = self.offset_events(file_path, file_tag)
+        if not events:
+            return "(no data)"
+        times = [e["time"] for e in events]
+        ends = [e["offset"] + max(e["ret"], 0) for e in events]
+        t_lo, t_hi = min(times), max(times)
+        max_offset = max(ends) or 1
+        t_span = max(t_hi - t_lo, 1)
+        grid = [[0.0] * time_buckets for _ in range(offset_buckets)]
+        for event in events:
+            col = min(int((event["time"] - t_lo) / t_span * (time_buckets - 1)),
+                      time_buckets - 1)
+            row = min(int(event["offset"] / max_offset * (offset_buckets - 1)),
+                      offset_buckets - 1)
+            # Row 0 at the top should be the HIGHEST offset.
+            grid[offset_buckets - 1 - row][col] += 1
+        labels = [f"{max_offset * (offset_buckets - i) // offset_buckets:>9}"
+                  for i in range(offset_buckets)]
+        target = file_path or file_tag or "all files"
+        return render_heatmap(
+            grid, labels,
+            title=f"offset access map for {target} (x: time, y: offset)")
+
+    # ------------------------------------------------------------------
+    # Summary panels
+
+    def syscall_summary(self) -> str:
+        """Counts by syscall type — the landing dashboard panel."""
+        response = self.store.search(
+            self.index, query=self._base_query(), size=0,
+            aggs={"by_syscall": {"terms": {"field": "syscall", "size": 50}}})
+        rows = [[b["key"], b["doc_count"]]
+                for b in response["aggregations"]["by_syscall"]["buckets"]]
+        return render_table(["syscall", "events"], rows)
+
+    def process_summary(self) -> str:
+        """Counts and distinct threads per process name."""
+        response = self.store.search(
+            self.index, query=self._base_query(), size=0,
+            aggs={"by_proc": {
+                "terms": {"field": "proc_name", "size": 50},
+                "aggs": {"tids": {"cardinality": {"field": "tid"}}},
+            }})
+        rows = [[b["key"], b["doc_count"], b["tids"]["value"]]
+                for b in response["aggregations"]["by_proc"]["buckets"]]
+        return render_table(["proc_name", "events", "threads"], rows)
+
+    def process_io_rows(self) -> list[dict]:
+        """Per-process I/O totals derived from the trace (iotop-style).
+
+        Sums read/write syscall counts and the bytes their return
+        values reported, per process name.
+        """
+        reads = ("read", "pread64", "readv")
+        writes = ("write", "pwrite64", "writev")
+        response = self.store.search(
+            self.index,
+            query=self._base_query(
+                [{"terms": {"syscall": list(reads + writes)}},
+                 {"range": {"ret": {"gte": 0}}}]),
+            size=0,
+            aggs={"by_proc": {
+                "terms": {"field": "proc_name", "size": 50},
+                "aggs": {
+                    "r": {"terms": {"field": "syscall", "size": 10},
+                          "aggs": {"bytes": {"sum": {"field": "ret"}}}},
+                },
+            }})
+        rows = []
+        for bucket in response["aggregations"]["by_proc"]["buckets"]:
+            row = {"proc_name": bucket["key"], "read_syscalls": 0,
+                   "read_bytes": 0, "write_syscalls": 0, "write_bytes": 0}
+            for sub in bucket["r"]["buckets"]:
+                bytes_moved = int(sub["bytes"]["value"] or 0)
+                if sub["key"] in reads:
+                    row["read_syscalls"] += sub["doc_count"]
+                    row["read_bytes"] += bytes_moved
+                else:
+                    row["write_syscalls"] += sub["doc_count"]
+                    row["write_bytes"] += bytes_moved
+            rows.append(row)
+        rows.sort(key=lambda r: -(r["read_bytes"] + r["write_bytes"]))
+        return rows
+
+    def process_io_table(self) -> str:
+        """Render the iotop-style per-process I/O panel."""
+        rows = [[r["proc_name"], r["read_syscalls"], f"{r['read_bytes']:,}",
+                 r["write_syscalls"], f"{r['write_bytes']:,}"]
+                for r in self.process_io_rows()]
+        return render_table(
+            ["proc_name", "reads", "bytes read", "writes", "bytes written"],
+            rows)

@@ -1,0 +1,15 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized so the suite is fully reproducible — the
+same property the simulator itself guarantees (see
+``tests/test_determinism.py``).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,176 @@
+"""Unit tests for the query DSL."""
+
+import pytest
+
+from repro.backend.query import (QueryError, compile_query, get_field,
+                                 term_candidates)
+
+DOC = {
+    "syscall": "write",
+    "ret": 26,
+    "proc_name": "fluent-bit",
+    "args": {"path": "/tmp/app.log", "fd": 3},
+    "time": 1000,
+}
+
+
+def matches(query, doc=DOC):
+    return compile_query(query)(doc)
+
+
+class TestGetField:
+    def test_flat_field(self):
+        assert get_field(DOC, "syscall") == "write"
+
+    def test_dotted_field(self):
+        assert get_field(DOC, "args.path") == "/tmp/app.log"
+
+    def test_missing_field_is_none(self):
+        assert get_field(DOC, "nope") is None
+        assert get_field(DOC, "args.nope") is None
+        assert get_field(DOC, "syscall.sub") is None
+
+    def test_literal_dotted_key_preferred(self):
+        doc = {"a.b": 1, "a": {"b": 2}}
+        assert get_field(doc, "a.b") == 1
+
+
+class TestClauses:
+    def test_match_all(self):
+        assert matches({"match_all": {}})
+        assert matches(None)
+        assert matches({})
+
+    def test_term(self):
+        assert matches({"term": {"syscall": "write"}})
+        assert not matches({"term": {"syscall": "read"}})
+        assert matches({"term": {"args.fd": 3}})
+
+    def test_term_with_value_wrapper(self):
+        assert matches({"term": {"syscall": {"value": "write"}}})
+
+    def test_terms(self):
+        assert matches({"terms": {"syscall": ["read", "write"]}})
+        assert not matches({"terms": {"syscall": ["open", "close"]}})
+
+    def test_range(self):
+        assert matches({"range": {"ret": {"gte": 26}}})
+        assert matches({"range": {"ret": {"gt": 25, "lt": 27}}})
+        assert not matches({"range": {"ret": {"lt": 26}}})
+        assert not matches({"range": {"missing": {"gte": 0}}})
+
+    def test_range_type_mismatch_is_false(self):
+        assert not matches({"range": {"syscall": {"gte": 5}}})
+
+    def test_exists(self):
+        assert matches({"exists": {"field": "args.path"}})
+        assert not matches({"exists": {"field": "file_path"}})
+
+    def test_wildcard(self):
+        assert matches({"wildcard": {"proc_name": "fluent*"}})
+        assert matches({"wildcard": {"args.path": "/tmp/*.log"}})
+        assert not matches({"wildcard": {"proc_name": "rocksdb*"}})
+
+    def test_prefix(self):
+        assert matches({"prefix": {"args.path": "/tmp/"}})
+        assert not matches({"prefix": {"args.path": "/var/"}})
+
+
+class TestBool:
+    def test_must_all_required(self):
+        query = {"bool": {"must": [
+            {"term": {"syscall": "write"}},
+            {"range": {"ret": {"gt": 0}}},
+        ]}}
+        assert matches(query)
+        query["bool"]["must"].append({"term": {"proc_name": "app"}})
+        assert not matches(query)
+
+    def test_filter_behaves_like_must(self):
+        assert matches({"bool": {"filter": [{"term": {"ret": 26}}]}})
+
+    def test_must_not(self):
+        assert matches({"bool": {"must_not": [{"term": {"syscall": "read"}}]}})
+        assert not matches({"bool": {"must_not": [{"term": {"syscall": "write"}}]}})
+
+    def test_pure_should_requires_one_match(self):
+        assert matches({"bool": {"should": [
+            {"term": {"syscall": "read"}},
+            {"term": {"syscall": "write"}},
+        ]}})
+        assert not matches({"bool": {"should": [
+            {"term": {"syscall": "read"}},
+            {"term": {"syscall": "open"}},
+        ]}})
+
+    def test_minimum_should_match(self):
+        query = {"bool": {
+            "should": [
+                {"term": {"syscall": "write"}},
+                {"term": {"ret": 26}},
+                {"term": {"proc_name": "nope"}},
+            ],
+            "minimum_should_match": 2,
+        }}
+        assert matches(query)
+        query["bool"]["minimum_should_match"] = 3
+        assert not matches(query)
+
+    def test_single_clause_as_dict(self):
+        assert matches({"bool": {"must": {"term": {"syscall": "write"}}}})
+
+    def test_nested_bool(self):
+        query = {"bool": {"must": [
+            {"bool": {"should": [
+                {"term": {"proc_name": "fluent-bit"}},
+                {"term": {"proc_name": "app"}},
+            ]}},
+            {"term": {"syscall": "write"}},
+        ]}}
+        assert matches(query)
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError):
+            compile_query({"fuzzy": {"f": "v"}})
+
+    def test_multi_key_query(self):
+        with pytest.raises(QueryError):
+            compile_query({"term": {"a": 1}, "exists": {"field": "b"}})
+
+    def test_bad_terms_values(self):
+        with pytest.raises(QueryError):
+            compile_query({"terms": {"f": "not-a-list"}})
+
+    def test_bad_range_operator(self):
+        with pytest.raises(QueryError):
+            compile_query({"range": {"f": {"above": 3}}})
+
+    def test_unknown_bool_section(self):
+        with pytest.raises(QueryError):
+            compile_query({"bool": {"must_never": []}})
+
+
+class TestTermCandidates:
+    def test_term_extraction(self):
+        assert term_candidates({"term": {"syscall": "read"}}) == [
+            ("syscall", ["read"])]
+
+    def test_terms_extraction(self):
+        assert term_candidates({"terms": {"syscall": ["a", "b"]}}) == [
+            ("syscall", ["a", "b"])]
+
+    def test_bool_must_extraction(self):
+        query = {"bool": {"must": [
+            {"term": {"session": "s1"}},
+            {"range": {"time": {"gte": 0}}},
+        ]}}
+        assert term_candidates(query) == [("session", ["s1"])]
+
+    def test_no_candidates_for_range(self):
+        assert term_candidates({"range": {"t": {"gte": 0}}}) is None
+
+    def test_should_not_usable_for_pruning(self):
+        assert term_candidates({"bool": {"should": [
+            {"term": {"a": 1}}]}}) is None

@@ -1,0 +1,127 @@
+"""Tests for the ``dio`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFluentBitCommand:
+    def test_buggy_version_reports_loss(self, capsys):
+        assert main(["fluentbit", "--version", "1.4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "data lost      : 16 bytes" in out
+        assert "stale-offset resume detected" in out
+        assert "lseek" in out
+
+    def test_fixed_version_reports_no_loss(self, capsys):
+        assert main(["fluentbit", "--version", "2.0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "data lost      : 0 bytes" in out
+        assert "stale-offset" not in out
+        assert "flb-pipeline" in out
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(SystemExit):
+            main(["fluentbit", "--version", "3.0.0"])
+
+
+class TestRocksDBCommand:
+    def test_small_run_prints_both_figures(self, capsys):
+        assert main(["rocksdb", "--duration", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "Fig. 4" in out
+        assert "db_bench" in out
+        assert "rocksdb:high0" in out
+        assert "ring-buffer discards" in out
+
+
+class TestOverheadCommand:
+    def test_prints_table2(self, capsys):
+        assert main(["overhead", "--ops", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        for deployment in ("vanilla", "sysdig", "dio", "strace"):
+            assert deployment in out
+        assert "1.00x" in out
+
+
+class TestCapabilitiesCommand:
+    def test_prints_matrix(self, capsys):
+        assert main(["capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "f_offset" in out
+        assert "TA" in out
+
+
+class TestPostMortemCommands:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("traces")
+        buggy = base / "buggy.jsonl"
+        fixed = base / "fixed.jsonl"
+        assert main(["fluentbit", "--version", "1.4.0",
+                     "--export", str(buggy)]) == 0
+        assert main(["fluentbit", "--version", "2.0.5",
+                     "--export", str(fixed)]) == 0
+        return buggy, fixed
+
+    def test_export_mentions_file(self, traces, capsys):
+        capsys.readouterr()
+        assert traces[0].exists()
+        assert traces[1].exists()
+
+    def test_sessions_lists_both(self, traces, capsys):
+        assert main(["sessions", str(traces[0]), str(traces[1])]) == 0
+        out = capsys.readouterr().out
+        assert "fluentbit-1.4.0" in out
+        assert "fluentbit-2.0.5" in out
+        assert "app" in out
+
+    def test_analyze_flags_buggy_with_nonzero_exit(self, traces, capsys):
+        assert main(["analyze", str(traces[0])]) == 1
+        out = capsys.readouterr().out
+        assert "critical" in out
+        assert "stale-offset-resume" in out
+
+    def test_analyze_passes_fixed(self, traces, capsys):
+        assert main(["analyze", str(traces[1])]) == 0
+        out = capsys.readouterr().out
+        assert "critical" not in out
+
+    def test_compare_finds_the_divergent_step(self, traces, capsys):
+        assert main(["compare", str(traces[0]), str(traces[1])]) == 0
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "lseek = 26" in out
+        assert "read = 16" in out
+
+    def test_dashboard_predefined(self, traces, capsys):
+        assert main(["dashboard", str(traces[0]),
+                     "--name", "file-access"]) == 0
+        out = capsys.readouterr().out
+        assert "File access table" in out
+        assert "fluent-bit" in out
+
+    def test_replay_reports_fidelity(self, traces, capsys):
+        assert main(["replay", str(traces[0])]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "fidelity" in out
+
+    def test_dashboard_custom_spec(self, traces, capsys, tmp_path):
+        spec = tmp_path / "dash.json"
+        spec.write_text("""{
+            "name": "mine", "title": "My panels",
+            "panels": [{"type": "syscall_histogram"}]
+        }""")
+        assert main(["dashboard", str(traces[0]), "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "My panels" in out
+        assert "write" in out
+
+
+def test_no_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,222 @@
+"""Tests for directory (glob-mode) tailing and LSM tombstones."""
+
+import pytest
+
+from repro.apps.fluentbit import (FLUENTBIT_BUGGY, FLUENTBIT_FIXED,
+                                  DirectoryTailer)
+from repro.apps.rocksdb import DBOptions, RocksDB, TOMBSTONE
+from repro.apps.rocksdb.db_bench import key_name
+from repro.kernel import Kernel, O_APPEND, O_CREAT, O_WRONLY
+from repro.sim import Environment
+
+SECOND = 1_000_000_000
+
+
+def write_file(kernel, task, path, payload):
+    fd = yield from kernel.syscall(task, "open", path=path,
+                                   flags=O_CREAT | O_WRONLY | O_APPEND)
+    yield from kernel.syscall(task, "write", fd=fd, data=payload)
+    yield from kernel.syscall(task, "close", fd=fd)
+
+
+class TestDirectoryTailer:
+    def make(self, version=FLUENTBIT_FIXED):
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        kernel.vfs.mkdir("/logs")
+        app = kernel.spawn_process("app").threads[0]
+        tailer = DirectoryTailer(kernel, "/logs", version=version,
+                                 poll_interval_ns=1 * SECOND)
+        return env, kernel, app, tailer
+
+    def test_tails_every_matching_file(self):
+        env, kernel, app, tailer = self.make()
+        tailer.start()
+
+        def main():
+            yield from write_file(kernel, app, "/logs/a.log", b"alpha\n")
+            yield from write_file(kernel, app, "/logs/b.log", b"beta!\n")
+            yield from write_file(kernel, app, "/logs/skip.txt", b"nope\n")
+            yield env.timeout(4 * SECOND)
+            tailer.stop()
+
+        env.run(until=env.process(main()))
+        assert tailer.delivered_for("/logs/a.log") == 6
+        assert tailer.delivered_for("/logs/b.log") == 6
+        assert "/logs/skip.txt" not in tailer.tails
+        assert tailer.delivered_bytes == 12
+
+    def test_files_created_later_are_picked_up(self):
+        env, kernel, app, tailer = self.make()
+        tailer.start()
+
+        def main():
+            yield from write_file(kernel, app, "/logs/early.log", b"111\n")
+            yield env.timeout(3 * SECOND)
+            yield from write_file(kernel, app, "/logs/late.log", b"2222\n")
+            yield env.timeout(4 * SECOND)
+            tailer.stop()
+
+        env.run(until=env.process(main()))
+        assert tailer.delivered_for("/logs/early.log") == 4
+        assert tailer.delivered_for("/logs/late.log") == 5
+
+    def test_tails_share_one_process(self):
+        env, kernel, app, tailer = self.make()
+        tailer.start()
+
+        def main():
+            yield from write_file(kernel, app, "/logs/a.log", b"x\n")
+            yield from write_file(kernel, app, "/logs/b.log", b"y\n")
+            yield env.timeout(3 * SECOND)
+            tailer.stop()
+
+        env.run(until=env.process(main()))
+        pids = {tail.process.pid for tail in tailer.tails.values()}
+        assert pids == {tailer.process.pid}
+
+    def test_buggy_version_loses_data_per_file(self):
+        env, kernel, app, tailer = self.make(version=FLUENTBIT_BUGGY)
+        tailer.start()
+
+        def main():
+            yield from write_file(kernel, app, "/logs/a.log",
+                                  b"0123456789" * 2)  # 20 bytes
+            yield env.timeout(3 * SECOND)
+            yield from kernel.syscall(app, "unlink", path="/logs/a.log")
+            yield env.timeout(1 * SECOND)
+            yield from write_file(kernel, app, "/logs/a.log", b"12345")
+            yield env.timeout(4 * SECOND)
+            tailer.stop()
+
+        env.run(until=env.process(main()))
+        # Inode recycled, stale offset 20 applied: the 5 bytes are lost.
+        assert tailer.delivered_for("/logs/a.log") == 20
+
+    def test_fixed_version_complete_per_file(self):
+        env, kernel, app, tailer = self.make(version=FLUENTBIT_FIXED)
+        tailer.start()
+
+        def main():
+            yield from write_file(kernel, app, "/logs/a.log",
+                                  b"0123456789" * 2)
+            yield env.timeout(3 * SECOND)
+            yield from kernel.syscall(app, "unlink", path="/logs/a.log")
+            yield env.timeout(1 * SECOND)
+            yield from write_file(kernel, app, "/logs/a.log", b"12345")
+            yield env.timeout(4 * SECOND)
+            tailer.stop()
+
+        env.run(until=env.process(main()))
+        assert tailer.delivered_for("/logs/a.log") == 25
+
+    def test_missing_directory_is_quiet(self):
+        env = Environment()
+        kernel = Kernel(env)
+        tailer = DirectoryTailer(kernel, "/nonexistent",
+                                 poll_interval_ns=SECOND)
+        tailer.start()
+
+        def main():
+            yield env.timeout(3 * SECOND)
+            tailer.stop()
+
+        env.run(until=env.process(main()))
+        assert tailer.tails == {}
+
+    def test_double_start_rejected(self):
+        env, kernel, app, tailer = self.make()
+        tailer.start()
+        with pytest.raises(RuntimeError):
+            tailer.start()
+
+
+class TestTombstones:
+    def make_db(self, **overrides):
+        env = Environment()
+        kernel = Kernel(env)
+        process = kernel.spawn_process("db")
+        db = RocksDB(kernel, process, DBOptions(**overrides))
+        return env, kernel, process.threads[0], db
+
+    def test_delete_hides_key(self):
+        env, kernel, task, db = self.make_db()
+
+        def scenario():
+            yield from db.open(task)
+            yield from db.put(task, "k", b"v")
+            yield from db.delete(task, "k")
+            got = yield from db.get(task, "k")
+            assert got is None
+            db.close()
+
+        env.run(until=env.process(scenario()))
+
+    def test_delete_shadows_flushed_value(self):
+        env, kernel, task, db = self.make_db(memtable_bytes=1024)
+
+        def scenario():
+            yield from db.open(task)
+            for i in range(30):
+                yield from db.put(task, key_name(i), b"v" * 64)
+            yield env.timeout(SECOND)   # value now in an SSTable
+            yield from db.delete(task, key_name(5))
+            got = yield from db.get(task, key_name(5))
+            assert got is None
+            got = yield from db.get(task, key_name(6))
+            assert got == b"v" * 64
+            db.close()
+
+        env.run(until=env.process(scenario()))
+
+    def test_tombstone_survives_flush(self):
+        env, kernel, task, db = self.make_db(memtable_bytes=512)
+
+        def scenario():
+            yield from db.open(task)
+            yield from db.put(task, "target", b"old")
+            yield from db.delete(task, "target")
+            # Push both through flushes with filler traffic.
+            for i in range(40):
+                yield from db.put(task, key_name(i), b"f" * 64)
+            yield env.timeout(SECOND)
+            got = yield from db.get(task, "target")
+            assert got is None
+            db.close()
+
+        env.run(until=env.process(scenario()))
+
+    def test_tombstone_dropped_at_bottom_level(self):
+        env, kernel, task, db = self.make_db(memtable_bytes=512,
+                                             l0_compaction_trigger=2,
+                                             max_level=2,
+                                             sstable_bytes=2048)
+
+        def scenario():
+            yield from db.open(task)
+            yield from db.put(task, "doomed", b"x")
+            yield from db.delete(task, "doomed")
+            for i in range(120):
+                yield from db.put(task, key_name(i), b"f" * 64)
+            yield env.timeout(3 * SECOND)
+            db.close()
+
+        env.run(until=env.process(scenario()))
+        bottom = db.levels[db.options.max_level]
+        for table in bottom:
+            for key, _, value in table.entries():
+                assert value is not TOMBSTONE, key
+
+    def test_reinsert_after_delete(self):
+        env, kernel, task, db = self.make_db()
+
+        def scenario():
+            yield from db.open(task)
+            yield from db.put(task, "k", b"v1")
+            yield from db.delete(task, "k")
+            yield from db.put(task, "k", b"v2")
+            got = yield from db.get(task, "k")
+            assert got == b"v2"
+            db.close()
+
+        env.run(until=env.process(scenario()))

@@ -1,0 +1,146 @@
+"""Integration tests for the end-to-end experiment harnesses.
+
+These use reduced scales so the suite stays fast; the full-scale runs
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.apps.fluentbit import FLUENTBIT_BUGGY, FLUENTBIT_FIXED
+from repro.experiments import (run_fluentbit_case, run_overhead_comparison,
+                               run_rocksdb_case)
+from repro.experiments.rocksdb_case import RocksDBScale
+
+SECOND = 1_000_000_000
+MS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def buggy_case():
+    return run_fluentbit_case(FLUENTBIT_BUGGY)
+
+
+@pytest.fixture(scope="module")
+def fixed_case():
+    return run_fluentbit_case(FLUENTBIT_FIXED)
+
+
+class TestFluentBitCase:
+    def test_buggy_loses_second_write(self, buggy_case):
+        assert buggy_case.lost_bytes == 16
+        assert buggy_case.delivered_bytes == 26
+
+    def test_fixed_loses_nothing(self, fixed_case):
+        assert fixed_case.lost_bytes == 0
+        assert fixed_case.delivered_bytes == 42
+
+    def test_fig2a_sequence(self, buggy_case):
+        """The event sequence of Fig. 2a, step by step."""
+        rows = buggy_case.figure2_rows()
+        flb = [r for r in rows if r["proc_name"] == "fluent-bit"]
+        app = [r for r in rows if r["proc_name"] == "app"]
+        # Step 1: app creates, writes 26 bytes at offset 0, closes.
+        assert [r["syscall"] for r in app[:3]] == ["openat", "write", "close"]
+        assert app[1]["ret"] == 26 and app[1]["offset"] == 0
+        # Step 2: fluent-bit reads the full 26 bytes from offset 0.
+        assert flb[0]["syscall"] == "openat"
+        assert (flb[1]["syscall"], flb[1]["ret"], flb[1]["offset"]) == ("read", 26, 0)
+        # Step 3: app unlinks; fluent-bit closes its descriptor.
+        assert app[3]["syscall"] == "unlink"
+        # Step 4: app recreates the file and writes 16 bytes.
+        assert app[5]["syscall"] == "write" and app[5]["ret"] == 16
+        # Step 5: fluent-bit seeks to the stale offset 26 and reads 0.
+        lseeks = [r for r in flb if r["syscall"] == "lseek"]
+        assert lseeks and lseeks[0]["ret"] == 26
+        last_reads = [r for r in flb if r["syscall"] == "read"][-1:]
+        assert last_reads[0]["ret"] == 0 and last_reads[0]["offset"] == 26
+
+    def test_fig2b_sequence(self, fixed_case):
+        """Fig. 2b: the fixed version reads the new file from offset 0."""
+        rows = fixed_case.figure2_rows()
+        flb = [r for r in rows if r["proc_name"] == "flb-pipeline"]
+        # No stale lseek; the second file's first read is at offset 0
+        # and returns the 16 new bytes.
+        assert all(r["syscall"] != "lseek" for r in flb)
+        reads_16 = [r for r in flb
+                    if r["syscall"] == "read" and r["ret"] == 16]
+        assert reads_16 and reads_16[0]["offset"] == 0
+
+    def test_file_tags_distinguish_inode_reuse(self, buggy_case):
+        rows = buggy_case.figure2_rows()
+        tags = {r["file_tag"] for r in rows if r.get("file_tag")}
+        assert len(tags) == 2
+        devs_inos = {tuple(tag.split()[:2]) for tag in tags}
+        assert len(devs_inos) == 1  # same device and inode number
+
+    def test_versions_differ_only_at_step5(self, buggy_case, fixed_case):
+        """Paper: 'the two versions present similar behavior (1-4)'."""
+        def prefix(case):
+            return [(r["proc_name"].replace("flb-pipeline", "fluent-bit"),
+                     r["syscall"], r["ret"])
+                    for r in case.figure2_rows()][:11]
+
+        assert prefix(buggy_case) == prefix(fixed_case)
+
+    def test_correlation_resolved_all_paths(self, buggy_case):
+        report = buggy_case.tracer.correlation_report
+        assert report is not None
+        assert report.unresolved_ratio == 0.0
+
+
+@pytest.fixture(scope="module")
+def small_rocksdb_case():
+    scale = RocksDBScale(duration_ns=400 * MS, key_count=10_000,
+                         client_threads=4, memtable_bytes=256 * 1024)
+    return run_rocksdb_case(scale)
+
+
+class TestRocksDBCase:
+    def test_bench_produced_operations(self, small_rocksdb_case):
+        assert small_rocksdb_case.bench.op_count > 1000
+
+    def test_trace_contains_all_thread_kinds(self, small_rocksdb_case):
+        data = small_rocksdb_case.dashboards.syscalls_over_time(50 * MS)
+        threads = {name for counts in data.values() for name in counts}
+        assert "db_bench" in threads
+        assert "rocksdb:high0" in threads
+        assert any(name.startswith("rocksdb:low") for name in threads)
+
+    def test_trace_scope_is_data_syscalls(self, small_rocksdb_case):
+        response = small_rocksdb_case.store.search(
+            "dio_trace", size=0,
+            aggs={"s": {"terms": {"field": "syscall", "size": 50}}})
+        seen = {b["key"] for b in response["aggregations"]["s"]["buckets"]}
+        allowed = {"open", "openat", "creat", "read", "pread64", "readv",
+                   "write", "pwrite64", "writev", "close"}
+        assert seen <= allowed
+
+    def test_background_threads_did_io(self, small_rocksdb_case):
+        assert small_rocksdb_case.db.stats.flushes > 0
+        assert small_rocksdb_case.db.stats.compactions > 0
+
+    def test_no_background_crashes(self, small_rocksdb_case):
+        small_rocksdb_case.db.check_health()
+
+
+class TestOverheadComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        scale = RocksDBScale(key_count=5_000, client_threads=4)
+        return run_overhead_comparison(scale=scale, ops_per_thread=300)
+
+    def test_ordering_matches_table2(self, result):
+        """vanilla < sysdig < DIO < strace."""
+        assert result.overhead("sysdig") > 1.0
+        assert result.overhead("dio") > result.overhead("sysdig")
+        assert result.overhead("strace") > result.overhead("dio")
+
+    def test_same_operation_budget(self, result):
+        counts = {run.ops for run in result.runs.values()}
+        assert len(counts) == 1
+
+    def test_rows_render(self, result):
+        rows = result.table2_rows()
+        assert len(rows) == 4
+        assert rows[0][0] == "vanilla"
+        assert rows[0][2] == "1.00x"

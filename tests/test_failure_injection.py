@@ -1,0 +1,172 @@
+"""Failure-injection tests: crashes, flaky backends, stale state."""
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel, O_CREAT, O_WRONLY
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+
+
+class FlakyStore(DocumentStore):
+    """A backend that fails the first N bulk requests."""
+
+    def __init__(self, failures: int):
+        super().__init__()
+        self.failures_left = failures
+        self.failed_requests = 0
+
+    def bulk(self, index, sources):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            self.failed_requests += 1
+            raise ConnectionError("backend unavailable")
+        return super().bulk(index, sources)
+
+
+def writer_workload(kernel, task, writes=50):
+    fd = yield from kernel.syscall(task, "open", path="/f",
+                                   flags=O_CREAT | O_WRONLY)
+    for _ in range(writes):
+        yield from kernel.syscall(task, "write", fd=fd, data=b"x" * 32)
+    yield from kernel.syscall(task, "close", fd=fd)
+
+
+class TestFlakyBackend:
+    def test_transient_failures_retried_without_event_loss(self):
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = FlakyStore(failures=3)
+        tracer = DIOTracer(env, kernel, store,
+                           TracerConfig(session_name="flaky"))
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def main():
+            yield from writer_workload(kernel, task)
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        assert store.failed_requests == 3
+        assert tracer.stats.ship_retries == 3
+        assert tracer.stats.shipped == 52
+        assert store.count("dio_trace") == 52
+
+    def test_persistent_failure_eventually_fatal(self):
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = FlakyStore(failures=10_000)
+        config = TracerConfig(ship_max_retries=3,
+                              ship_retry_backoff_ns=1000)
+        tracer = DIOTracer(env, kernel, store, config)
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def main():
+            yield from writer_workload(kernel, task, writes=5)
+            yield from tracer.shutdown()
+
+        with pytest.raises(ConnectionError):
+            env.run(until=env.process(main()))
+
+    def test_application_unaffected_by_backend_outage(self):
+        """The async pipeline: app completion time must not depend on
+        backend hiccups (they happen off the critical path)."""
+
+        def run_with(failures):
+            env = Environment()
+            kernel = Kernel(env, ncpus=2)
+            store = FlakyStore(failures=failures)
+            tracer = DIOTracer(env, kernel, store,
+                               TracerConfig(ship_retry_backoff_ns=1_000_000))
+            task = kernel.spawn_process("app").threads[0]
+            tracer.attach()
+            app_done = {}
+
+            def main():
+                yield from writer_workload(kernel, task)
+                app_done["at"] = env.now
+                yield from tracer.shutdown()
+
+            env.run(until=env.process(main()))
+            return app_done["at"]
+
+        assert run_with(0) == run_with(3)
+
+
+class TestCrashingApplication:
+    def test_tracer_survives_app_interrupted_mid_run(self):
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store)
+        task = kernel.spawn_process("victim").threads[0]
+        tracer.attach()
+
+        app = env.process(writer_workload(kernel, task, writes=10_000))
+
+        def killer():
+            yield env.timeout(50_000)  # mid-run
+            app.interrupt("killed")
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(killer()))
+        # Whatever was traced before the crash is fully shipped.
+        assert tracer.stats.shipped == tracer.stats.produced
+        assert store.count("dio_trace") == tracer.stats.shipped
+        assert tracer.ring.pending_records() == 0
+
+    def test_stale_inflight_entry_does_not_corrupt_future_events(self):
+        """An interrupted syscall leaves a stale entry-timestamp in the
+        pairing map; the next syscall of that TID must still pair to a
+        sane (enter <= exit) event."""
+        env = Environment()
+        kernel = Kernel(env, ncpus=1)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store)
+        process = kernel.spawn_process("app")
+        task = process.threads[0]
+        tracer.attach()
+        # Forge a stale in-flight timestamp, as if an earlier syscall
+        # never reached its exit tracepoint.
+        tracer._inflight.update(task.tid, 12345)
+
+        def main():
+            yield env.timeout(1_000_000)
+            yield from kernel.syscall(task, "creat", path="/f")
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        doc = store.search("dio_trace")["hits"]["hits"][0]["_source"]
+        assert doc["time"] <= doc["time_exit"]
+
+
+class TestBackendStateAbuse:
+    def test_double_shutdown_is_idempotent(self):
+        env = Environment()
+        kernel = Kernel(env, ncpus=1)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store)
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def main():
+            yield from kernel.syscall(task, "creat", path="/f")
+            yield from tracer.shutdown()
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        assert store.count("dio_trace") == 1
+
+    def test_stop_before_any_event(self):
+        env = Environment()
+        kernel = Kernel(env, ncpus=1)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store)
+        tracer.attach()
+
+        def main():
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        assert tracer.stats.shipped == 0

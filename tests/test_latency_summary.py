@@ -1,0 +1,33 @@
+"""Tests for the latency distribution summary."""
+
+import pytest
+
+from repro.analysis.latency import latency_summary
+
+
+def ops(latencies, op="read"):
+    return [(i, latency, op, 1) for i, latency in enumerate(latencies)]
+
+
+class TestLatencySummary:
+    def test_basic_statistics(self):
+        summary = latency_summary(ops(range(1, 101)))
+        assert summary["count"] == 100
+        assert summary["mean_ns"] == pytest.approx(50.5)
+        assert summary["p50_ns"] == pytest.approx(50.5)
+        assert summary["max_ns"] == 100
+        assert summary["p99_ns"] <= summary["p999_ns"] <= summary["max_ns"]
+
+    def test_op_filter(self):
+        records = ops([10, 20], "read") + ops([1000], "update")
+        assert latency_summary(records, op="read")["count"] == 2
+        assert latency_summary(records, op="update")["max_ns"] == 1000
+
+    def test_empty(self):
+        assert latency_summary([]) == {"count": 0}
+        assert latency_summary(ops([1]), op="missing") == {"count": 0}
+
+    def test_percentiles_ordered(self):
+        summary = latency_summary(ops([1, 1, 1, 1, 1, 1, 1, 1, 1, 10_000]))
+        assert (summary["p50_ns"] <= summary["p90_ns"]
+                <= summary["p99_ns"] <= summary["max_ns"])

@@ -1,0 +1,86 @@
+"""Tests for the heatmap renderer and the offset access-map dashboard."""
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.visualizer import DIODashboards, render_heatmap
+
+
+class TestRenderHeatmap:
+    def test_empty(self):
+        assert render_heatmap([]) == "(no data)"
+        assert render_heatmap([[]]) == "(no data)"
+
+    def test_intensity_scaling(self):
+        text = render_heatmap([[0, 4, 8]])
+        row = text.splitlines()[0]
+        cells = row.split("|")[1]
+        assert cells[0] == " "
+        assert cells[2] == "█"
+
+    def test_row_labels_and_title(self):
+        text = render_heatmap([[1], [2]], row_labels=["hi", "lo"],
+                              title="map")
+        lines = text.splitlines()
+        assert lines[0] == "map"
+        assert lines[1].startswith("hi")
+        assert lines[2].startswith("lo")
+
+
+def seed_offset_events(store, pattern):
+    """pattern: list of (time, offset, ret) for pread64 on /f."""
+    docs = [{"syscall": "openat", "proc_name": "p", "pid": 1, "tid": 1,
+             "ret": 3, "time": 0, "file_tag": "7 3 0",
+             "args": {"path": "/f"}, "file_path": "/f"}]
+    for time, offset, ret in pattern:
+        docs.append({"syscall": "pread64", "proc_name": "p", "pid": 1,
+                     "tid": 1, "ret": ret, "time": time, "offset": offset,
+                     "file_tag": "7 3 0", "file_path": "/f"})
+    store.bulk("dio_trace", docs)
+
+
+class TestOffsetDashboard:
+    def test_offset_events_sorted_and_filtered(self):
+        store = DocumentStore()
+        seed_offset_events(store, [(30, 200, 10), (10, 0, 10), (20, 100, 10)])
+        dash = DIODashboards(store)
+        events = dash.offset_events(file_path="/f")
+        assert [e["time"] for e in events] == [10, 20, 30]
+        assert dash.offset_events(file_path="/other") == []
+
+    def test_sequential_pattern_renders_diagonal(self):
+        store = DocumentStore()
+        seed_offset_events(store, [(i * 10, i * 1000, 1000)
+                                   for i in range(20)])
+        dash = DIODashboards(store)
+        text = dash.offset_heatmap(file_path="/f", time_buckets=20,
+                                   offset_buckets=10)
+        lines = [line for line in text.splitlines()[1:]]
+        # The topmost band (highest offsets) must light up LATE in time,
+        # the bottom band EARLY — a diagonal.
+        def first_mark(line):
+            cells = line.split("|")[1]
+            for index, char in enumerate(cells):
+                if char != " ":
+                    return index
+            return None
+
+        marked = [m for m in (first_mark(line) for line in lines)
+                  if m is not None]
+        # Top rows (high offsets) light up later than bottom rows.
+        assert len(marked) >= 3
+        assert marked[0] > marked[-1]
+        assert marked == sorted(marked, reverse=True)
+
+    def test_heatmap_no_data(self):
+        store = DocumentStore()
+        store.ensure_index("dio_trace")
+        dash = DIODashboards(store)
+        assert dash.offset_heatmap(file_path="/nope") == "(no data)"
+
+    def test_filter_by_tag(self):
+        store = DocumentStore()
+        seed_offset_events(store, [(10, 0, 10)])
+        dash = DIODashboards(store)
+        assert dash.offset_events(file_tag="7 3 0")
+        assert dash.offset_events(file_tag="7 9 9") == []

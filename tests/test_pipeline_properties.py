@@ -1,0 +1,181 @@
+"""Tests for pipeline-level properties the paper claims.
+
+- *Near real-time*: events become queryable at the backend while
+  tracing is still running (inline pipeline, §II / Table III).
+- *DIO as a service*: several tracer instances on different machines
+  ship to one shared backend, kept apart by session names (§II-F).
+- *Asynchronous handling*: tracing latency stays off the application's
+  critical path even when the consumer lags.
+"""
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel, O_CREAT, O_WRONLY
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+
+MS = 1_000_000
+SECOND = 1_000_000_000
+
+
+def writes(kernel, task, count, path="/f", delay_ns=0):
+    fd = yield from kernel.syscall(task, "open", path=path,
+                                   flags=O_CREAT | O_WRONLY)
+    for _ in range(count):
+        yield from kernel.syscall(task, "write", fd=fd, data=b"x" * 16)
+        if delay_ns:
+            yield kernel.env.timeout(delay_ns)
+    yield from kernel.syscall(task, "close", fd=fd)
+
+
+class TestNearRealTime:
+    def test_events_queryable_while_tracing_runs(self):
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store,
+                           TracerConfig(batch_size=16,
+                                        session_name="live"))
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+        observed = {}
+
+        def app():
+            yield from writes(kernel, task, 500, delay_ns=50_000)
+
+        def observer():
+            # Long before the app finishes, the backend must already
+            # answer queries over the traced events.
+            yield env.timeout(10 * MS)
+            observed["mid_run"] = store.count(
+                "dio_trace", {"term": {"session": "live"}})
+
+        app_proc = env.process(app())
+        env.process(observer())
+
+        def main():
+            yield app_proc
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        assert observed["mid_run"] > 10
+        assert observed["mid_run"] < tracer.stats.shipped
+
+    def test_visualizer_works_mid_trace(self):
+        from repro.visualizer import DIODashboards
+
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store,
+                           TracerConfig(batch_size=8, session_name="live"))
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+        snapshots = []
+
+        def observer():
+            yield env.timeout(5 * MS)
+            dash = DIODashboards(store, session="live")
+            snapshots.append(dash.syscall_summary())
+
+        app_proc = env.process(writes(kernel, task, 300, delay_ns=50_000))
+        env.process(observer())
+
+        def main():
+            yield app_proc
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        assert "write" in snapshots[0]
+
+
+class TestTracingAsAService:
+    def test_two_machines_one_backend(self):
+        """Two kernels ("machines"), two tracers, one shared backend."""
+        store = DocumentStore()
+
+        def run_machine(session, proc_name, count):
+            env = Environment()
+            kernel = Kernel(env, ncpus=2)
+            tracer = DIOTracer(env, kernel, store,
+                               TracerConfig(session_name=session))
+            task = kernel.spawn_process(proc_name).threads[0]
+            tracer.attach()
+
+            def main():
+                yield from writes(kernel, task, count)
+                yield from tracer.shutdown()
+
+            env.run(until=env.process(main()))
+            return tracer
+
+        run_machine("machine-a", "service-x", 10)
+        run_machine("machine-b", "service-y", 20)
+
+        a = store.count("dio_trace", {"term": {"session": "machine-a"}})
+        b = store.count("dio_trace", {"term": {"session": "machine-b"}})
+        assert a == 12
+        assert b == 22
+        # Per-session views do not bleed into each other.
+        procs_a = store.search(
+            "dio_trace", query={"term": {"session": "machine-a"}},
+            size=0, aggs={"p": {"terms": {"field": "proc_name"}}})
+        names = {bucket["key"] for bucket in
+                 procs_a["aggregations"]["p"]["buckets"]}
+        assert names == {"service-x"}
+
+    def test_correlation_is_session_scoped(self):
+        """Same inode numbers on two machines must not cross-pollute."""
+        store = DocumentStore()
+
+        def run_machine(session, path):
+            env = Environment()
+            kernel = Kernel(env, ncpus=1)
+            tracer = DIOTracer(env, kernel, store,
+                               TracerConfig(session_name=session))
+            task = kernel.spawn_process("app").threads[0]
+            tracer.attach()
+
+            def main():
+                yield from writes(kernel, task, 3, path=path)
+                yield from tracer.shutdown()
+
+            env.run(until=env.process(main()))
+
+        run_machine("m1", "/alpha")
+        run_machine("m2", "/beta")
+        for session, expected in (("m1", "/alpha"), ("m2", "/beta")):
+            hits = store.search(
+                "dio_trace",
+                query={"bool": {"must": [
+                    {"term": {"session": session}},
+                    {"term": {"syscall": "write"}},
+                ]}}, size=None)["hits"]["hits"]
+            paths = {h["_source"].get("file_path") for h in hits}
+            assert paths == {expected}, session
+
+
+class TestAsynchronousHandling:
+    def test_slow_consumer_does_not_slow_the_application(self):
+        """Consumer speed changes shipping lag, not app completion."""
+
+        def run_with(parse_ns):
+            env = Environment()
+            kernel = Kernel(env, ncpus=2)
+            store = DocumentStore()
+            config = TracerConfig(parse_ns_per_event=parse_ns)
+            tracer = DIOTracer(env, kernel, store, config)
+            task = kernel.spawn_process("app").threads[0]
+            tracer.attach()
+            done = {}
+
+            def main():
+                yield from writes(kernel, task, 200)
+                done["at"] = env.now
+                yield from tracer.shutdown()
+
+            env.run(until=env.process(main()))
+            return done["at"]
+
+        assert run_with(1_000) == run_with(100_000)

@@ -1,0 +1,111 @@
+"""Property-based tests: simulation engine and ring buffer invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf import PerCPURingBuffer
+from repro.sim import Environment, Store
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.integers(min_value=0, max_value=10_000),
+                           min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_processes_complete_in_delay_order(self, delays):
+        env = Environment()
+        completions = []
+
+        def proc(index, delay):
+            yield env.timeout(delay)
+            completions.append((env.now, index))
+
+        for index, delay in enumerate(delays):
+            env.process(proc(index, delay))
+        env.run()
+
+        times = [t for t, _ in completions]
+        assert times == sorted(times)
+        # Ties resolve in creation order (determinism).
+        expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+        assert [i for _, i in completions] == expected
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=1000),
+                           min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_clock_ends_at_max_delay(self, delays):
+        env = Environment()
+        for delay in delays:
+            env.process(iter_timeout(env, delay))
+        env.run()
+        assert env.now == max(delays)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_store_is_fifo_under_any_interleaving(self, data):
+        env = Environment()
+        store = Store(env)
+        n = data.draw(st.integers(min_value=1, max_value=20))
+        put_delays = data.draw(st.lists(
+            st.integers(min_value=0, max_value=100), min_size=n, max_size=n))
+        received = []
+
+        def producer(item, delay):
+            yield env.timeout(delay)
+            yield store.put(item)
+
+        def consumer():
+            for _ in range(n):
+                item = yield store.get()
+                received.append(item)
+
+        # Items are produced at arbitrary times but numbered by
+        # production order; FIFO must deliver in that order.
+        schedule = sorted(enumerate(put_delays), key=lambda pair: pair[1])
+        for order, (_, delay) in enumerate(schedule):
+            env.process(producer(order, delay))
+        env.process(consumer())
+        env.run()
+        assert received == sorted(received)
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+class TestRingBufferProperties:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_accounting_invariants(self, data):
+        ncpus = data.draw(st.integers(min_value=1, max_value=4))
+        capacity = data.draw(st.integers(min_value=64, max_value=2048))
+        rb = PerCPURingBuffer(ncpus, capacity)
+        offers = data.draw(st.lists(
+            st.tuples(st.integers(min_value=0, max_value=ncpus - 1),
+                      st.integers(min_value=1, max_value=512)),
+            max_size=60))
+        accepted = 0
+        for cpu, size in offers:
+            if rb.produce(cpu, (cpu, size), size):
+                accepted += 1
+        # Conservation: offered = produced + dropped.
+        assert rb.stats.produced == accepted
+        assert rb.stats.produced + rb.stats.dropped == len(offers)
+        # Capacity never exceeded on any CPU.
+        for cpu in range(ncpus):
+            assert rb.fill_bytes(cpu) <= capacity
+        # Everything accepted is eventually consumable, FIFO per CPU.
+        drained = rb.consume_all()
+        assert len(drained) == accepted
+        assert rb.pending_records() == 0
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=100),
+                          min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_and_old_records_never_lost(self, sizes):
+        """Overflow drops the NEW record; accepted ones stay in order."""
+        rb = PerCPURingBuffer(1, 256)
+        accepted_ids = []
+        for i, size in enumerate(sizes):
+            if rb.produce(0, i, size):
+                accepted_ids.append(i)
+        assert rb.consume(0) == accepted_ids
+        assert accepted_ids == sorted(accepted_ids)

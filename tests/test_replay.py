@@ -1,0 +1,166 @@
+"""Tests for trace replay against a fresh kernel."""
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel, O_CREAT, O_RDWR, SEEK_SET
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+from repro.tracer.replay import TraceReplayer
+
+
+def capture_session(workload_factory, session="capture"):
+    """Trace a workload; returns (store, kernel) after completion."""
+    env = Environment()
+    kernel = Kernel(env, ncpus=2)
+    store = DocumentStore()
+    tracer = DIOTracer(env, kernel, store,
+                       TracerConfig(session_name=session))
+    task = kernel.spawn_process("origapp").threads[0]
+    tracer.attach()
+
+    def main():
+        yield from workload_factory(kernel, task)
+        yield from tracer.shutdown()
+
+    env.run(until=env.process(main()))
+    return store, kernel
+
+
+def rich_workload(kernel, task):
+    fd = yield from kernel.syscall(task, "open", path="/data.bin",
+                                   flags=O_CREAT | O_RDWR)
+    yield from kernel.syscall(task, "write", fd=fd, data=b"a" * 1000)
+    yield from kernel.syscall(task, "pwrite64", fd=fd, data=b"b" * 500,
+                              offset=2000)
+    yield from kernel.syscall(task, "lseek", fd=fd, offset=0,
+                              whence=SEEK_SET)
+    buf = bytearray(800)
+    yield from kernel.syscall(task, "read", fd=fd, buf=buf)
+    st = {}
+    yield from kernel.syscall(task, "fstat", fd=fd, statbuf=st)
+    yield from kernel.syscall(task, "fsync", fd=fd)
+    yield from kernel.syscall(task, "close", fd=fd)
+    yield from kernel.syscall(task, "mkdir", path="/dir")
+    yield from kernel.syscall(task, "rename", oldpath="/data.bin",
+                              newpath="/dir/data.bin")
+    yield from kernel.syscall(task, "stat", path="/dir/data.bin",
+                              statbuf={})
+
+
+def replay_session(store, session="capture", timed=False):
+    env = Environment()
+    kernel = Kernel(env, ncpus=2)
+    replayer = TraceReplayer.from_session(store, kernel, session,
+                                          timed=timed)
+    report = env.run(until=env.process(replayer.run()))
+    return kernel, report
+
+
+class TestReplayFidelity:
+    def test_all_events_replayed_with_matching_returns(self):
+        store, _ = capture_session(rich_workload)
+        kernel, report = replay_session(store)
+        assert report.skipped == 0
+        assert report.issued == 11
+        assert report.fidelity == 1.0
+
+    def test_filesystem_state_reconstructed(self):
+        store, original_kernel = capture_session(rich_workload)
+        kernel, _ = replay_session(store)
+        replayed = kernel.vfs.resolve("/dir/data.bin")
+        original = original_kernel.vfs.resolve("/dir/data.bin")
+        assert replayed.size == original.size
+
+    def test_disk_traffic_reproduced(self):
+        store, original_kernel = capture_session(rich_workload)
+        kernel, _ = replay_session(store)
+        original_written = original_kernel.device.stats.bytes_written
+        replayed_written = kernel.device.stats.bytes_written
+        assert replayed_written == pytest.approx(original_written, rel=0.2)
+
+    def test_fd_translation_tolerates_different_numbers(self):
+        """Occupy low fds in the replay kernel: recorded fd 3 must map."""
+        store, _ = capture_session(rich_workload)
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        squatter = kernel.spawn_process("squatter").threads[0]
+
+        def main():
+            for i in range(5):
+                yield from kernel.syscall(squatter, "open",
+                                          path=f"/squat{i}",
+                                          flags=O_CREAT | O_RDWR)
+            replayer = TraceReplayer.from_session(store, kernel, "capture")
+            report = yield from replayer.run()
+            return report
+
+        report = env.run(until=env.process(main()))
+        assert report.fidelity == 1.0
+
+
+class TestReplaySemantics:
+    def test_threads_and_processes_recreated(self):
+        def multi_thread(kernel, task):
+            other = kernel.spawn_thread(task.process, comm="worker")
+            yield from kernel.syscall(task, "creat", path="/a")
+            yield from kernel.syscall(other, "creat", path="/b")
+
+        store, _ = capture_session(multi_thread)
+        kernel, report = replay_session(store)
+        assert report.issued == 2
+        comms = {t.comm for t in kernel.processes.tasks.values()}
+        assert {"origapp", "worker"} <= comms
+
+    def test_unknown_fd_events_skipped(self):
+        """Events on fds opened before tracing started are skipped."""
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = DocumentStore()
+        tracer = DIOTracer(env, kernel, store,
+                           TracerConfig(session_name="late"))
+        task = kernel.spawn_process("app").threads[0]
+
+        def main():
+            fd = yield from kernel.syscall(task, "open", path="/pre",
+                                           flags=O_CREAT | O_RDWR)
+            tracer.attach()
+            yield from kernel.syscall(task, "write", fd=fd, data=b"x")
+            yield from kernel.syscall(task, "creat", path="/post")
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        _, report = replay_session(store, session="late")
+        assert report.skipped == 1      # the write on the unknown fd
+        assert report.issued == 1       # the creat
+
+    def test_timed_replay_preserves_gaps(self):
+        def gapped(kernel, task):
+            yield from kernel.syscall(task, "creat", path="/a")
+            yield kernel.env.timeout(500_000_000)
+            yield from kernel.syscall(task, "creat", path="/b")
+
+        store, _ = capture_session(gapped)
+        _, fast_report = replay_session(store)
+        _, timed_report = replay_session(store, timed=True)
+        assert timed_report.duration_ns >= 500_000_000
+        assert fast_report.duration_ns < 500_000_000
+
+    def test_missing_session_rejected(self):
+        store = DocumentStore()
+        store.ensure_index("dio_trace")
+        env = Environment()
+        kernel = Kernel(env)
+        with pytest.raises(ValueError):
+            TraceReplayer.from_session(store, kernel, "ghost")
+
+
+class TestReplayDeterminism:
+    def test_replay_twice_identical(self):
+        store, _ = capture_session(rich_workload)
+        kernel_a, report_a = replay_session(store)
+        kernel_b, report_b = replay_session(store)
+        assert report_a.issued == report_b.issued
+        assert report_a.fidelity == report_b.fidelity
+        assert (kernel_a.device.stats.bytes_written
+                == kernel_b.device.stats.bytes_written)

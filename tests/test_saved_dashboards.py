@@ -1,0 +1,113 @@
+"""Tests for saved/predefined dashboard specifications."""
+
+import json
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.visualizer import (Dashboard, DashboardError,
+                              PREDEFINED_DASHBOARDS, load_predefined)
+
+MS = 1_000_000
+
+
+@pytest.fixture()
+def store():
+    store = DocumentStore()
+    store.bulk("dio_trace", [
+        {"syscall": "openat", "proc_name": "app", "pid": 1, "tid": 1,
+         "ret": 3, "time": 0, "session": "s",
+         "args": {"path": "/f"}, "file_tag": "7 3 0"},
+        {"syscall": "write", "proc_name": "app", "pid": 1, "tid": 1,
+         "ret": 100, "time": 1 * MS, "offset": 0, "session": "s",
+         "file_tag": "7 3 0", "file_path": "/f"},
+        {"syscall": "read", "proc_name": "worker", "pid": 2, "tid": 2,
+         "ret": 100, "time": 2 * MS, "offset": 0, "session": "s",
+         "file_tag": "7 3 0", "file_path": "/f"},
+    ])
+    return store
+
+
+class TestSpecValidation:
+    def test_missing_fields(self):
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec({"name": "x", "panels": []})
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec({"name": "x", "title": "t", "panels": []})
+
+    def test_unknown_panel_type(self):
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec({"name": "x", "title": "t",
+                                 "panels": [{"type": "piechart"}]})
+
+    def test_heatmap_panel_needs_target(self):
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec({"name": "x", "title": "t",
+                                 "panels": [{"type": "offset_heatmap"}]})
+
+    def test_bad_window(self):
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec({"name": "x", "title": "t",
+                                 "panels": [{"type": "thread_sparklines",
+                                             "window_ms": -5}]})
+
+    def test_invalid_json_string(self):
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec("{nope")
+
+    def test_json_roundtrip(self):
+        dashboard = load_predefined("overview")
+        clone = Dashboard.from_spec(dashboard.to_json())
+        assert clone.to_spec() == dashboard.to_spec()
+        json.loads(dashboard.to_json())  # valid JSON
+
+
+class TestPredefined:
+    def test_all_predefined_load(self):
+        for name in PREDEFINED_DASHBOARDS:
+            assert load_predefined(name).name == name
+
+    def test_unknown_predefined(self):
+        with pytest.raises(DashboardError):
+            load_predefined("nope")
+
+
+class TestRendering:
+    def test_overview_renders_counts(self, store):
+        text = load_predefined("overview").render(store, session="s")
+        assert "DIO overview" in text
+        assert "write" in text
+        assert "worker" in text
+
+    def test_file_access_renders_fig2_table(self, store):
+        text = load_predefined("file-access").render(store, session="s")
+        assert "file_tag" in text
+        assert "7 3 0" in text
+
+    def test_thread_activity_renders_sparklines(self, store):
+        text = load_predefined("thread-activity").render(store, session="s")
+        assert "app" in text
+        assert "aggregated by thread name" in text
+
+    def test_custom_dashboard_with_heatmap(self, store):
+        dashboard = Dashboard.from_spec({
+            "name": "mine",
+            "title": "custom",
+            "panels": [
+                {"type": "offset_heatmap", "file_path": "/f",
+                 "title": "offsets of /f"},
+                {"type": "event_table", "procs": ["app"]},
+            ],
+        })
+        text = dashboard.render(store, session="s")
+        assert "offsets of /f" in text
+        assert "custom" in text
+        # The event table honours the proc filter.
+        assert "worker" not in text.split("event_table")[-1]
+
+    def test_session_scoping(self, store):
+        store.bulk("dio_trace", [
+            {"syscall": "read", "proc_name": "other", "pid": 9, "tid": 9,
+             "ret": 1, "time": 0, "session": "other-session"}])
+        text = load_predefined("overview").render(store, session="s")
+        assert "other" not in text

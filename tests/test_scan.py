@@ -1,0 +1,140 @@
+"""Tests for LSM range scans and the db_bench latency report."""
+
+import pytest
+
+from repro.apps.rocksdb import DBBench, DBOptions, RocksDB
+from repro.apps.rocksdb.db_bench import key_name
+from repro.kernel import Kernel
+from repro.sim import Environment
+
+SECOND = 1_000_000_000
+
+
+def make_db(**overrides):
+    env = Environment()
+    kernel = Kernel(env)
+    process = kernel.spawn_process("db")
+    db = RocksDB(kernel, process, DBOptions(**overrides))
+    return env, kernel, process.threads[0], db
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestScan:
+    def test_scan_returns_sorted_live_range(self):
+        env, kernel, task, db = make_db()
+
+        def scenario():
+            yield from db.open(task)
+            for i in range(20):
+                yield from db.put(task, key_name(i), f"v{i}".encode())
+            result = yield from db.scan(task, key_name(5), limit=4)
+            db.close()
+            return result
+
+        result = run(env, scenario())
+        assert [k for k, _ in result] == [key_name(i) for i in (5, 6, 7, 8)]
+        assert result[0][1] == b"v5"
+
+    def test_scan_merges_memtable_and_sstables(self):
+        env, kernel, task, db = make_db(memtable_bytes=1024)
+
+        def scenario():
+            yield from db.open(task)
+            for i in range(40):
+                yield from db.put(task, key_name(i), b"old" + bytes([i]))
+            yield env.timeout(SECOND)          # flushed to SSTables
+            yield from db.put(task, key_name(10), b"NEW")
+            result = yield from db.scan(task, key_name(9), limit=3)
+            db.close()
+            return result
+
+        result = run(env, scenario())
+        assert dict(result)[key_name(10)] == b"NEW"
+        assert len(result) == 3
+
+    def test_scan_skips_tombstones(self):
+        env, kernel, task, db = make_db()
+
+        def scenario():
+            yield from db.open(task)
+            for i in range(10):
+                yield from db.put(task, key_name(i), b"v")
+            yield from db.delete(task, key_name(3))
+            result = yield from db.scan(task, key_name(2), limit=3)
+            db.close()
+            return result
+
+        result = run(env, scenario())
+        assert [k for k, _ in result] == [key_name(2), key_name(4),
+                                          key_name(5)]
+
+    def test_scan_past_end(self):
+        env, kernel, task, db = make_db()
+
+        def scenario():
+            yield from db.open(task)
+            yield from db.put(task, key_name(1), b"v")
+            result = yield from db.scan(task, key_name(500), limit=5)
+            db.close()
+            return result
+
+        assert run(env, scenario()) == []
+
+    def test_scan_charges_io_on_flushed_data(self):
+        env, kernel, task, db = make_db(memtable_bytes=1024)
+
+        def scenario():
+            yield from db.open(task)
+            for i in range(60):
+                yield from db.put(task, key_name(i), b"x" * 64)
+            yield env.timeout(SECOND)
+            # Drop the page cache so the scan must hit the device.
+            for level in db.levels:
+                for table in level:
+                    ino = kernel.vfs.lookup(table.path)
+                    if ino is not None:
+                        kernel.cache.drop_inode(ino.ino)
+            before = kernel.device.stats.bytes_read
+            yield from db.scan(task, key_name(0), limit=50)
+            db.close()
+            return kernel.device.stats.bytes_read - before
+
+        assert run(env, scenario()) > 0
+
+    def test_invalid_limit(self):
+        env, kernel, task, db = make_db()
+
+        def scenario():
+            yield from db.open(task)
+            with pytest.raises(ValueError):
+                yield from db.scan(task, key_name(0), limit=0)
+            db.close()
+
+        run(env, scenario())
+
+
+class TestBenchReport:
+    def test_report_lists_each_op_kind(self):
+        env = Environment()
+        kernel = Kernel(env)
+        process = kernel.spawn_process("db_bench")
+        db = RocksDB(kernel, process, DBOptions())
+        bench = DBBench(kernel, db, client_threads=2, key_count=200,
+                        value_size=64, seed=9)
+
+        def scenario():
+            yield from db.open(bench.client_tasks[0])
+            yield from bench.load()
+            handle = bench.run_ops(50)
+            result = yield from handle.wait()
+            db.close()
+            return result
+
+        result = env.run(until=env.process(scenario()))
+        text = result.report()
+        assert "ops/s" in text
+        assert "read" in text and "update" in text
+        assert "p99" in text

@@ -1,0 +1,165 @@
+"""Tests for L0->L1 subcompactions (RocksDB's max_subcompactions)."""
+
+import pytest
+
+from repro.apps.rocksdb import DBOptions, RocksDB, SSTable
+from repro.apps.rocksdb.db_bench import key_name
+from repro.kernel import Kernel
+from repro.sim import Environment
+
+SECOND = 1_000_000_000
+
+
+def make_db(**overrides):
+    env = Environment()
+    kernel = Kernel(env, ncpus=4)
+    process = kernel.spawn_process("db_bench")
+    db = RocksDB(kernel, process, DBOptions(**overrides))
+    return env, kernel, process, db
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def churn(env, kernel, db, task, rounds=240, keys=120):
+    yield from db.open(task)
+    # Seed L1 with several files so L0->L1 has something to split over.
+    items = [(key_name(i), b"B" * 64) for i in range(keys * 4)]
+    yield from db.bulk_load(task, items, level=1)
+    for i in range(rounds):
+        yield from db.put(task, key_name((i * 7) % (keys * 4)),
+                          f"v{i}".encode())
+    yield env.timeout(3 * SECOND)
+    db.close()
+
+
+class TestSSTableRanges:
+    def make_table(self):
+        entries = [(key_name(i), i, b"x" * 100) for i in range(100)]
+        return SSTable("/t.sst", 0, 1, entries)
+
+    def test_entries_in_range(self):
+        table = self.make_table()
+        subset = table.entries_in_range(key_name(10), key_name(20))
+        assert [e[0] for e in subset] == [key_name(i) for i in range(10, 20)]
+
+    def test_unbounded_ranges(self):
+        table = self.make_table()
+        assert len(table.entries_in_range(None, None)) == 100
+        assert len(table.entries_in_range(None, key_name(5))) == 5
+        assert len(table.entries_in_range(key_name(95), None)) == 5
+
+    def test_range_bytes_partition_sums_to_file(self):
+        table = self.make_table()
+        mid = key_name(50)
+        assert (table.range_bytes(None, mid) + table.range_bytes(mid, None)
+                == table.file_size)
+
+    def test_empty_range(self):
+        table = self.make_table()
+        assert table.range_bytes(key_name(10), key_name(10)) == 0
+        assert table.entries_in_range(key_name(10), key_name(10)) == []
+
+    def test_read_range_charges_io(self):
+        env = Environment()
+        kernel = Kernel(env)
+        task = kernel.spawn_process("db").threads[0]
+        table = self.make_table()
+
+        def scenario():
+            yield from table.write_to_disk(kernel, task, 32768)
+            # Evict the freshly written blocks so the read hits the disk.
+            kernel.cache.drop_inode(kernel.vfs.resolve("/t.sst").ino)
+            before = kernel.device.stats.bytes_read
+            entries = yield from table.read_range(
+                kernel, task, key_name(0), key_name(50), 65536)
+            assert len(entries) == 50
+            return kernel.device.stats.bytes_read - before
+
+        read_bytes = run(env, scenario())
+        assert 0 < read_bytes < table.file_size * 1.5
+
+
+class TestSubcompactionExecution:
+    def test_data_preserved_with_subcompactions(self):
+        env, kernel, process, db = make_db(
+            memtable_bytes=2048, l0_compaction_trigger=2,
+            max_subcompactions=4, sstable_bytes=8192)
+        task = process.threads[0]
+
+        def scenario():
+            yield from churn(env, kernel, db, task)
+
+        run(env, scenario())
+        assert db.stats.compactions >= 1
+        assert any(a.get("subcompaction") for a in db.stats.activity)
+
+    def test_latest_values_survive(self):
+        env, kernel, process, db = make_db(
+            memtable_bytes=2048, l0_compaction_trigger=2,
+            max_subcompactions=4, sstable_bytes=8192)
+        task = process.threads[0]
+        wrote = {}
+
+        def scenario():
+            yield from db.open(task)
+            items = [(key_name(i), b"B" * 64) for i in range(400)]
+            yield from db.bulk_load(task, items, level=1)
+            for i in range(240):
+                key = key_name((i * 7) % 400)
+                value = f"v{i}".encode()
+                yield from db.put(task, key, value)
+                wrote[key] = value
+            yield env.timeout(3 * SECOND)
+            for key in (key_name(0), key_name(7), key_name(399 * 7 % 400)):
+                got = yield from db.get(task, key)
+                expected = wrote.get(key, b"B" * 64)
+                assert got == expected, key
+            db.close()
+
+        run(env, scenario())
+
+    def test_multiple_threads_participate(self):
+        env, kernel, process, db = make_db(
+            memtable_bytes=2048, l0_compaction_trigger=2,
+            max_subcompactions=7, sstable_bytes=8192)
+        task = process.threads[0]
+
+        def scenario():
+            yield from churn(env, kernel, db, task, rounds=400, keys=200)
+
+        run(env, scenario())
+        sub_threads = {a["thread"] for a in db.stats.activity
+                       if a.get("subcompaction")}
+        assert len(sub_threads) >= 2, sub_threads
+
+    def test_single_thread_pool_does_not_deadlock(self):
+        env, kernel, process, db = make_db(
+            memtable_bytes=2048, l0_compaction_trigger=2,
+            max_subcompactions=4, compaction_threads=1,
+            sstable_bytes=8192)
+        task = process.threads[0]
+
+        def scenario():
+            yield from churn(env, kernel, db, task)
+
+        run(env, scenario())
+        assert db.stats.compactions >= 1
+
+    def test_outputs_non_overlapping_in_l1(self):
+        env, kernel, process, db = make_db(
+            memtable_bytes=2048, l0_compaction_trigger=2,
+            max_subcompactions=4, sstable_bytes=8192)
+        task = process.threads[0]
+
+        def scenario():
+            yield from churn(env, kernel, db, task)
+
+        run(env, scenario())
+        tables = db.levels[1]
+        for left, right in zip(tables, tables[1:]):
+            assert left.largest < right.smallest
+
+    def test_disabled_by_default(self):
+        assert DBOptions().max_subcompactions == 1
