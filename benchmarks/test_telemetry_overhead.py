@@ -1,0 +1,49 @@
+"""Self-telemetry overhead guard.
+
+Full telemetry (registry bindings + pipeline spans) must stay cheap:
+the DIO deployment of the Table II experiment with telemetry enabled
+may add at most 10% wall-clock over the same run with telemetry
+disabled.  Callback-backed metrics keep the hot path untouched, so
+the only per-event cost is the consumer/shipper span bookkeeping.
+"""
+
+import time
+
+from repro.experiments import run_overhead_comparison
+from repro.experiments.rocksdb_case import RocksDBScale
+
+SCALE = RocksDBScale(client_threads=2, key_count=400, value_size=256)
+OPS = 800
+ROUNDS = 3
+
+
+def _wall_clock(dio_telemetry: bool) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_overhead_comparison(SCALE, ops_per_thread=OPS,
+                                deployments=("dio",),
+                                dio_telemetry=dio_telemetry)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_full_telemetry_adds_under_ten_percent(once):
+    disabled = _wall_clock(dio_telemetry=False)
+    enabled = once(_wall_clock, dio_telemetry=True)
+    print(f"\ntelemetry off: {disabled:.3f}s  on: {enabled:.3f}s  "
+          f"ratio: {enabled / disabled:.3f}")
+    # 50 ms of slack absorbs timer noise on very fast runs.
+    assert enabled <= disabled * 1.10 + 0.05
+
+
+def test_telemetry_results_identical_either_way():
+    """The toggle must not change the experiment's outcome."""
+    on = run_overhead_comparison(SCALE, ops_per_thread=OPS,
+                                 deployments=("dio",), dio_telemetry=True)
+    off = run_overhead_comparison(SCALE, ops_per_thread=OPS,
+                                  deployments=("dio",), dio_telemetry=False)
+    assert (on.runs["dio"].execution_time_ns
+            == off.runs["dio"].execution_time_ns)
+    assert on.runs["dio"].ops == off.runs["dio"].ops
+    assert on.runs["dio"].drop_ratio == off.runs["dio"].drop_ratio

@@ -63,8 +63,32 @@ class CorrelationReport:
 class FilePathCorrelator:
     """Translates file tags into file paths across an event index."""
 
-    def __init__(self, store: DocumentStore):
+    def __init__(self, store: DocumentStore, registry=None):
         self.store = store
+        self._metrics = None
+        if registry is not None:
+            self.bind_telemetry(registry)
+
+    def bind_telemetry(self, registry) -> None:
+        """Expose correlation outcome counters on a telemetry registry.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry`;
+        every :meth:`correlate` pass accumulates into it.
+        """
+        self._metrics = {
+            "tags_resolved": registry.counter(
+                "dio_correlator_tags_resolved_total",
+                "File tags resolved to a path (§II-C correlation)."),
+            "documents_updated": registry.counter(
+                "dio_correlator_documents_updated_total",
+                "Documents updated with a resolved file path."),
+            "documents_tagged": registry.counter(
+                "dio_correlator_documents_tagged_total",
+                "Documents carrying a file tag when correlation ran."),
+            "documents_unresolved": registry.counter(
+                "dio_correlator_documents_unresolved_total",
+                "Tagged documents left without a file path."),
+        }
 
     def tag_to_path(self, index: str,
                     session: Optional[str] = None) -> dict[str, str]:
@@ -122,9 +146,13 @@ class FilePathCorrelator:
 
         tagged = self.store.count(index, tagged_query)
         unresolved = self.store.count(index, unresolved_query)
-        return CorrelationReport(
+        report = CorrelationReport(
             tags_resolved=len(mapping),
             documents_updated=updated,
             documents_tagged=tagged,
             documents_unresolved=unresolved,
         )
+        if self._metrics is not None:
+            for field, counter in self._metrics.items():
+                counter.inc(getattr(report, field))
+        return report

@@ -137,6 +137,60 @@ class DocumentStore:
         self._indices: dict[str, Index] = {}
         self.bulk_requests = 0
         self.documents_indexed = 0
+        self.queries = 0
+        self._telemetry: Optional[dict] = None
+
+    def bind_telemetry(self, registry, clock=None) -> None:
+        """Expose store counters and sizes on a telemetry registry.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry`.
+        With ``clock`` given (a callable returning nanoseconds, e.g.
+        the simulation clock), bulk and query calls also record
+        ``store.bulk`` / ``store.query`` spans; on the virtual clock
+        these are zero-duration unless the caller's clock advances, so
+        the tracer's shipper span is where bulk round-trip latency
+        shows up.
+        """
+        from repro.telemetry.spans import SPAN_HISTOGRAM
+
+        registry.counter(
+            "dio_store_bulk_requests_total",
+            "Bulk indexing requests received by the document store.",
+        ).set_function(lambda: self.bulk_requests)
+        registry.counter(
+            "dio_store_documents_indexed_total",
+            "Documents indexed across all indices.",
+        ).set_function(lambda: self.documents_indexed)
+        registry.counter(
+            "dio_store_queries_total",
+            "Search and count requests served.",
+        ).set_function(lambda: self.queries)
+        self._telemetry = {
+            "clock": clock,
+            "bulk_docs": registry.histogram(
+                "dio_store_bulk_docs",
+                "Documents per bulk request.",
+                buckets=(0, 1, 8, 32, 128, 512, 2048, 8192)),
+            "query_hits": registry.histogram(
+                "dio_store_query_hits",
+                "Matching documents per search request.",
+                buckets=(0, 1, 10, 100, 1_000, 10_000, 100_000)),
+            "span": registry.histogram(
+                SPAN_HISTOGRAM,
+                "Duration of pipeline stage spans "
+                "(virtual nanoseconds).", labelnames=("span",)),
+        }
+
+    def _observe_span(self, name: str, start_ns: Optional[int]) -> None:
+        if start_ns is None:
+            return
+        clock = self._telemetry["clock"]
+        self._telemetry["span"].labels(span=name).observe(clock() - start_ns)
+
+    def _span_start(self) -> Optional[int]:
+        if self._telemetry is None or self._telemetry["clock"] is None:
+            return None
+        return self._telemetry["clock"]()
 
     # ------------------------------------------------------------------
     # Index management
@@ -175,6 +229,7 @@ class DocumentStore:
 
     def count(self, index: str, query: Optional[dict] = None) -> int:
         """Number of documents matching ``query``."""
+        self.queries += 1
         return len(self._index(index).scan(query))
 
     # ------------------------------------------------------------------
@@ -193,6 +248,7 @@ class DocumentStore:
 
     def bulk(self, index: str, sources: Iterable[dict]) -> int:
         """Bulk-index documents; returns how many were indexed."""
+        start = self._span_start()
         target = self.ensure_index(index)
         count = 0
         for source in sources:
@@ -200,6 +256,9 @@ class DocumentStore:
             count += 1
         self.bulk_requests += 1
         self.documents_indexed += count
+        if self._telemetry is not None:
+            self._telemetry["bulk_docs"].observe(count)
+            self._observe_span("store.bulk", start)
         return count
 
     # ------------------------------------------------------------------
@@ -216,8 +275,13 @@ class DocumentStore:
         ``{"field": {"order": "desc"}}`` dicts.  ``size=None`` returns
         all hits.
         """
+        start = self._span_start()
+        self.queries += 1
         matches = self._index(index).scan(query)
         total = len(matches)
+        if self._telemetry is not None:
+            self._telemetry["query_hits"].observe(total)
+            self._observe_span("store.query", start)
 
         if sort:
             for entry in reversed(sort):

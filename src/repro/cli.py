@@ -210,6 +210,60 @@ def _cmd_capabilities(_args) -> int:
     return 0
 
 
+def _run_traced_scenario(args):
+    """Run one built-in traced scenario; returns its DIOTracer.
+
+    Everything runs on the virtual clock, so the telemetry that comes
+    back — counters, span quantiles, exports — is deterministic.
+    """
+    if args.scenario == "rocksdb":
+        from repro.experiments import run_rocksdb_case
+        from repro.experiments.rocksdb_case import RocksDBScale
+
+        scale = RocksDBScale(duration_ns=int(args.duration * SECOND))
+        return run_rocksdb_case(scale).tracer
+    from repro.experiments import run_fluentbit_case
+
+    return run_fluentbit_case(args.version).tracer
+
+
+def _add_scenario_arguments(parser) -> None:
+    parser.add_argument("--scenario", choices=("fluentbit", "rocksdb"),
+                        default="fluentbit",
+                        help="traced workload to run (default: fluentbit)")
+    parser.add_argument("--version", choices=("1.4.0", "2.0.5"),
+                        default="1.4.0",
+                        help="Fluent Bit version (fluentbit scenario)")
+    parser.add_argument("--duration", type=float, default=0.4,
+                        help="virtual seconds of db_bench load "
+                             "(rocksdb scenario)")
+
+
+def _cmd_metrics(args) -> int:
+    tracer = _run_traced_scenario(args)
+    if args.format == "json":
+        print(tracer.telemetry.to_json())
+    else:
+        print(tracer.telemetry.to_prometheus(), end="")
+    return 0
+
+
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.visualizer import SelfMonitoringDashboard
+
+    tracer = _run_traced_scenario(args)
+    if args.format == "json":
+        print(json.dumps(tracer.telemetry.health_report().as_dict(),
+                         indent=2))
+        return 0
+    print(f"pipeline health for session "
+          f"{tracer.config.session_name!r}\n")
+    print(SelfMonitoringDashboard(tracer.telemetry).render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -271,6 +325,22 @@ def main(argv: list[str] | None = None) -> int:
 
     p_cap = sub.add_parser("capabilities", help="Table III feature matrix")
     p_cap.set_defaults(func=_cmd_capabilities)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a traced scenario and export its telemetry")
+    _add_scenario_arguments(p_metrics)
+    p_metrics.add_argument("--format", choices=("prometheus", "json"),
+                           default="prometheus",
+                           help="exposition format (default: prometheus)")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_health = sub.add_parser(
+        "health", help="run a traced scenario and print pipeline health")
+    _add_scenario_arguments(p_health)
+    p_health.add_argument("--format", choices=("text", "json"),
+                          default="text",
+                          help="report format (default: text)")
+    p_health.set_defaults(func=_cmd_health)
 
     args = parser.parse_args(argv)
     return args.func(args)

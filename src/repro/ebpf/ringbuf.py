@@ -91,6 +91,43 @@ class PerCPURingBuffer:
         self._sample_counter = 0
         self.stats = RingBufferStats()
 
+    def bind_telemetry(self, registry) -> None:
+        """Expose the ring counters on a telemetry registry.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry`.
+        The existing :class:`RingBufferStats` ints stay the source of
+        truth (and keep the produce/consume hot path free of telemetry
+        cost); the registry reads them through collect-time callbacks.
+        """
+        stats = self.stats
+        for name, help_text, reader in (
+            ("dio_ring_produced_total",
+             "Records accepted into the per-CPU ring buffers.",
+             lambda: stats.produced),
+            ("dio_ring_dropped_total",
+             "Records discarded under the overflow policy (§III-D).",
+             lambda: stats.dropped),
+            ("dio_ring_consumed_total",
+             "Records drained by the user-space consumer.",
+             lambda: stats.consumed),
+            ("dio_ring_bytes_produced_total",
+             "Bytes accepted into the ring buffers.",
+             lambda: stats.bytes_produced),
+            ("dio_ring_bytes_dropped_total",
+             "Bytes discarded under the overflow policy.",
+             lambda: stats.bytes_dropped),
+        ):
+            registry.counter(name, help_text).set_function(reader)
+        registry.gauge(
+            "dio_ring_pending_records",
+            "Records queued across CPUs awaiting the consumer "
+            "(consumer lag).",
+        ).set_function(self.pending_records)
+        registry.gauge(
+            "dio_ring_max_fill_bytes",
+            "High-water mark of any single CPU buffer's fill.",
+        ).set_function(lambda: stats.max_fill_bytes)
+
     def produce(self, cpu: int, record: Any, size_bytes: int) -> bool:
         """Offer a record from kernel space.
 

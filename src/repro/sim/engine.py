@@ -213,11 +213,42 @@ class Environment:
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._active_process = None
+        self._events_processed = 0
 
     @property
     def now(self) -> int:
         """Current virtual time in nanoseconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Events fired by :meth:`step` over the engine's lifetime."""
+        return self._events_processed
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently scheduled and not yet fired."""
+        return len(self._queue)
+
+    def bind_telemetry(self, registry) -> None:
+        """Expose engine health on a telemetry registry.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry`;
+        the engine itself stays telemetry-agnostic — everything is
+        read through zero-cost collect-time callbacks.
+        """
+        registry.counter(
+            "dio_sim_events_processed_total",
+            "Simulation events fired by the virtual-time engine.",
+        ).set_function(lambda: self._events_processed)
+        registry.gauge(
+            "dio_sim_queue_depth",
+            "Events currently scheduled on the engine's queue.",
+        ).set_function(lambda: len(self._queue))
+        registry.gauge(
+            "dio_sim_virtual_time_ns",
+            "Current virtual time in nanoseconds.",
+        ).set_function(lambda: self._now)
 
     @property
     def active_process(self):
@@ -263,6 +294,7 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self._events_processed += 1
         event._run_callbacks()
 
     def run(self, until: Any = None) -> Any:

@@ -59,6 +59,13 @@ class TracerConfig:
     #: Linear backoff between bulk retries (ns).
     ship_retry_backoff_ns: int = 10_000_000
 
+    # -- self-telemetry --------------------------------------------------
+    #: Record pipeline spans / bind component metrics.  Counters that
+    #: back :class:`~repro.tracer.tracer.TracerStats` stay live either
+    #: way; disabling only removes the optional instrumentation (what
+    #: the telemetry-overhead benchmark measures).
+    telemetry_enabled: bool = True
+
     # -- in-kernel cost model (drives Table II overheads) ---------------
     #: Cost of the sys_enter eBPF program (stash args + timestamp).
     enter_cost_ns: int = 700
@@ -138,4 +145,7 @@ class TracerConfig:
             kwargs["batch_size"] = int(backend["batch_size"])
         if "correlate_on_stop" in backend:
             kwargs["correlate_on_stop"] = bool(backend["correlate_on_stop"])
+        telemetry = data.get("telemetry", {})
+        if "enabled" in telemetry:
+            kwargs["telemetry_enabled"] = bool(telemetry["enabled"])
         return cls(**kwargs)

@@ -55,6 +55,18 @@ class KernelFilter:
         self._tracked_fds = BPFHashMap(max_entries=fd_map_entries,
                                        name="dio_tracked_fds")
         self.rejected = 0
+        self.accepted = 0
+
+    def bind_telemetry(self, registry) -> None:
+        """Expose filter verdict counters on a telemetry registry."""
+        registry.counter(
+            "dio_filter_accepted_total",
+            "Events that passed the in-kernel PID/TID/path filters.",
+        ).set_function(lambda: self.accepted)
+        registry.counter(
+            "dio_filter_rejected_total",
+            "Events rejected in kernel space by PID/TID/path filters.",
+        ).set_function(lambda: self.rejected)
 
     def _path_matches(self, path: Optional[str]) -> bool:
         if not isinstance(path, str):
@@ -95,4 +107,5 @@ class KernelFilter:
         if self.paths is not None and not self._passes_path_filter(ctx):
             self.rejected += 1
             return False
+        self.accepted += 1
         return True

@@ -28,6 +28,7 @@ from repro.ebpf.ringbuf import PerCPURingBuffer
 from repro.kernel.syscalls import Kernel
 from repro.kernel.tracepoints import SyscallContext
 from repro.sim import Environment
+from repro.telemetry import Telemetry
 
 from repro.tracer.config import TracerConfig
 from repro.tracer.enrichment import ENRICHMENT_COST_NS, Enricher
@@ -36,7 +37,14 @@ from repro.tracer.filters import KernelFilter
 
 
 class TracerStats:
-    """Aggregate view over the tracer's lifetime."""
+    """Aggregate view over the tracer's lifetime.
+
+    A thin compatibility facade over the telemetry registry (and the
+    ring buffer's counters): older callers keep reading
+    ``tracer.stats.shipped`` while the registry is the source of truth.
+    ``as_dict()`` is generated from the public properties, so a new
+    counter property can never silently go missing from it.
+    """
 
     def __init__(self, tracer: "DIOTracer"):
         self._tracer = tracer
@@ -64,29 +72,34 @@ class TracerStats:
     @property
     def shipped(self) -> int:
         """Events indexed at the backend."""
-        return self._tracer._shipped
+        return int(self._tracer._m_shipped.value)
 
     @property
     def batches(self) -> int:
         """Bulk requests issued."""
-        return self._tracer._batches
+        return int(self._tracer._m_batches.value)
 
     @property
     def ship_retries(self) -> int:
         """Bulk requests retried after transient backend failures."""
-        return self._tracer._ship_retries
+        return int(self._tracer._m_retries.value)
+
+    @property
+    def consumer_lag(self) -> int:
+        """Records sitting in the ring buffers, not yet consumed."""
+        return self._tracer.ring.pending_records()
+
+    @property
+    def retry_rate(self) -> float:
+        """Shipping retries per issued bulk request."""
+        batches = self.batches
+        return self.ship_retries / batches if batches else 0.0
 
     def as_dict(self) -> dict:
-        """All counters as a plain dict."""
-        return {
-            "produced": self.produced,
-            "dropped": self.dropped,
-            "drop_ratio": self.drop_ratio,
-            "filtered_out": self.filtered_out,
-            "shipped": self.shipped,
-            "batches": self.batches,
-            "ship_retries": self.ship_retries,
-        }
+        """All counter properties as a plain dict (in definition order)."""
+        return {name: getattr(self, name)
+                for name, attr in vars(type(self)).items()
+                if isinstance(attr, property)}
 
 
 class DIOTracer:
@@ -94,7 +107,8 @@ class DIOTracer:
 
     def __init__(self, env: Environment, kernel: Kernel,
                  store: DocumentStore,
-                 config: Optional[TracerConfig] = None):
+                 config: Optional[TracerConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.env = env
         self.kernel = kernel
         self.store = store
@@ -110,6 +124,28 @@ class DIOTracer:
         #: TID -> entry timestamp; the kernel-space pairing state.
         self._inflight = BPFHashMap(max_entries=65536, name="dio_inflight")
 
+        #: The pipeline's self-telemetry.  The registry backs the
+        #: consumer/shipper counters even when spans are disabled, so
+        #: :class:`TracerStats` always reads live values.
+        self.telemetry = telemetry or Telemetry(
+            clock=lambda: env.now, enabled=self.config.telemetry_enabled)
+        registry = self.telemetry.registry
+        self._m_batches = registry.counter(
+            "dio_consumer_batches_total", "Bulk requests issued.")
+        self._m_parsed = registry.counter(
+            "dio_consumer_events_parsed_total",
+            "Raw records parsed into JSON events by the consumer.")
+        self._m_shipped = registry.counter(
+            "dio_shipper_events_total", "Events indexed at the backend.")
+        self._m_retries = registry.counter(
+            "dio_shipper_retries_total",
+            "Bulk requests retried after transient backend failures.")
+        if self.telemetry.enabled:
+            self.ring.bind_telemetry(registry)
+            self.filter.bind_telemetry(registry)
+            self.store.bind_telemetry(registry, clock=lambda: env.now)
+            env.bind_telemetry(registry)
+
         self._enter_prog = EBPFProgram(
             "dio_sys_enter", ProgramType.SYS_ENTER, self._on_enter,
             cost_ns=self.config.enter_cost_ns)
@@ -120,9 +156,6 @@ class DIOTracer:
         self._running = False
         self._consumer = None
         self._consume_cursor = 0
-        self._shipped = 0
-        self._batches = 0
-        self._ship_retries = 0
         self.correlation_report: Optional[CorrelationReport] = None
         self.stats = TracerStats(self)
 
@@ -161,8 +194,13 @@ class DIOTracer:
         self.stop()
         yield from self.drain()
         if self.config.correlate_on_stop:
-            self.correlation_report = FilePathCorrelator(self.store).correlate(
-                self.config.index, session=self.config.session_name)
+            correlator = FilePathCorrelator(
+                self.store,
+                registry=(self.telemetry.registry if self.telemetry.enabled
+                          else None))
+            with self.telemetry.span("correlator.correlate"):
+                self.correlation_report = correlator.correlate(
+                    self.config.index, session=self.config.session_name)
 
     # ------------------------------------------------------------------
     # Kernel space (eBPF programs)
@@ -229,6 +267,7 @@ class DIOTracer:
 
     def _consume_loop(self):
         config = self.config
+        telemetry = self.telemetry
         while True:
             batch = self._take_batch()
             if not batch:
@@ -236,28 +275,34 @@ class DIOTracer:
                     break
                 yield self.env.timeout(config.poll_interval_ns)
                 continue
-            # Parse raw records into JSON events (user-space CPU).
-            yield self.env.timeout(config.parse_ns_per_event * len(batch))
-            events = [self._parse(record) for record in batch]
-            # Ship a bucket of events with one bulk request.  Transient
-            # backend failures are retried with backoff; the events are
-            # already out of the ring buffer, so nothing is lost — the
-            # application is unaffected either way (asynchronous path).
-            docs = [event.to_doc() for event in events]
-            attempt = 0
-            while True:
-                yield self.env.timeout(
-                    config.ship_base_ns
-                    + config.ship_ns_per_event * len(events))
-                try:
-                    self.store.bulk(config.index, docs)
-                    break
-                except Exception:
-                    attempt += 1
-                    self._ship_retries += 1
-                    if attempt >= config.ship_max_retries:
-                        raise
+            with telemetry.span("consumer.batch"):
+                # Parse raw records into JSON events (user-space CPU).
+                with telemetry.span("consumer.parse"):
                     yield self.env.timeout(
-                        config.ship_retry_backoff_ns * attempt)
-            self._shipped += len(events)
-            self._batches += 1
+                        config.parse_ns_per_event * len(batch))
+                    events = [self._parse(record) for record in batch]
+                self._m_parsed.inc(len(events))
+                # Ship a bucket of events with one bulk request.
+                # Transient backend failures are retried with backoff;
+                # the events are already out of the ring buffer, so
+                # nothing is lost — the application is unaffected
+                # either way (asynchronous path).
+                docs = [event.to_doc() for event in events]
+                attempt = 0
+                with telemetry.span("shipper.bulk"):
+                    while True:
+                        yield self.env.timeout(
+                            config.ship_base_ns
+                            + config.ship_ns_per_event * len(events))
+                        try:
+                            self.store.bulk(config.index, docs)
+                            break
+                        except Exception:
+                            attempt += 1
+                            self._m_retries.inc()
+                            if attempt >= config.ship_max_retries:
+                                raise
+                            yield self.env.timeout(
+                                config.ship_retry_backoff_ns * attempt)
+                self._m_shipped.inc(len(events))
+                self._m_batches.inc()

@@ -10,7 +10,7 @@ dashboards.
 from repro.visualizer.render import (render_table, render_histogram,
                                      render_heatmap, render_sparkline_grid,
                                      render_timeseries, to_csv)
-from repro.visualizer.dashboards import DIODashboards
+from repro.visualizer.dashboards import DIODashboards, SelfMonitoringDashboard
 from repro.visualizer.saved import (Dashboard, DashboardError,
                                     PREDEFINED_DASHBOARDS, load_predefined)
 
@@ -22,6 +22,7 @@ __all__ = [
     "render_timeseries",
     "to_csv",
     "DIODashboards",
+    "SelfMonitoringDashboard",
     "Dashboard",
     "DashboardError",
     "PREDEFINED_DASHBOARDS",

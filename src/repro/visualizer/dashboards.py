@@ -14,7 +14,100 @@ from repro.analysis.latency import percentile_series
 from repro.backend.store import DocumentStore
 
 from repro.visualizer.render import (render_heatmap, render_sparkline_grid,
-                                     render_table, render_timeseries)
+                                     render_table, render_timeseries,
+                                     sparkline)
+
+
+def _format_ns(value) -> str:
+    """Human-readable virtual duration."""
+    if value is None:
+        return "-"
+    if value < 1_000:
+        return f"{value:.0f} ns"
+    if value < 1_000_000:
+        return f"{value / 1e3:.1f} us"
+    if value < 1_000_000_000:
+        return f"{value / 1e6:.1f} ms"
+    return f"{value / 1e9:.3f} s"
+
+
+def _format_count(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return f"{int(value):,}"
+
+
+class SelfMonitoringDashboard:
+    """The "DIO self-monitoring" dashboard: the pipeline observing itself.
+
+    Mirrors how the paper's Kibana instance monitors its Elasticsearch
+    backend, but over our whole pipeline: per-stage counters, stage
+    latency quantiles from the span histograms, the derived health
+    gauges, and span-duration distributions as sparklines.  Rendered
+    with the same text primitives as the paper-figure dashboards.
+    """
+
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+
+    def stage_table(self) -> str:
+        """Per-stage counters and p50/p95/p99 span latencies."""
+        report = self.telemetry.health_report()
+        rows = []
+        for stage in report.stages:
+            counters = "  ".join(f"{name}={_format_count(value)}"
+                                 for name, value in stage.counters.items())
+            latency = stage.latency_ns or {}
+            rows.append([stage.name, counters,
+                         _format_ns(latency.get("p50")),
+                         _format_ns(latency.get("p95")),
+                         _format_ns(latency.get("p99"))])
+        return render_table(["stage", "counters", "p50", "p95", "p99"],
+                            rows, max_col_width=72)
+
+    def derived_table(self) -> str:
+        """The derived drop-ratio / lag / retry-rate gauges."""
+        derived = self.telemetry.health_report().derived
+        rows = [
+            ["drop ratio", f"{derived['drop_ratio'] * 100:.2f} %"],
+            ["consumer lag", f"{derived['consumer_lag']:.0f} records"],
+            ["retry rate", f"{derived['retry_rate']:.2f} retries/batch"],
+            ["unresolved ratio", f"{derived['unresolved_ratio'] * 100:.2f} %"],
+        ]
+        return render_table(["gauge", "value"], rows)
+
+    def span_histograms(self) -> str:
+        """One sparkline per span name over the duration buckets."""
+        family = self.telemetry.registry.get("dio_span_duration_ns")
+        if family is None:
+            return "(no spans recorded)"
+        lines = []
+        for labels, child in family.samples():
+            counts = child.bucket_counts()
+            lines.append((labels["span"], counts, child.count))
+        if not lines:
+            return "(no spans recorded)"
+        width = max(len(name) for name, _, _ in lines)
+        return "\n".join(
+            f"{name.ljust(width)} {sparkline(counts)} (n={total})"
+            for name, counts, total in lines)
+
+    def render(self) -> str:
+        """The full self-monitoring dashboard."""
+        sections = [
+            "=== DIO self-monitoring ===",
+            "",
+            "pipeline stages (kernel filter -> ring buffer -> consumer "
+            "-> shipper -> store -> correlator)",
+            self.stage_table(),
+            "",
+            "derived health gauges",
+            self.derived_table(),
+            "",
+            "span durations (buckets 0 ns .. 10 s, log scale)",
+            self.span_histograms(),
+        ]
+        return "\n".join(sections)
 
 
 class DIODashboards:

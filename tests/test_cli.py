@@ -125,3 +125,39 @@ class TestPostMortemCommands:
 def test_no_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestMetricsCommand:
+    def test_prometheus_output(self, capsys):
+        assert main(["metrics", "--scenario", "fluentbit"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE dio_ring_produced_total counter" in out
+        assert "# TYPE dio_span_duration_ns histogram" in out
+        assert "dio_health_drop_ratio" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["metrics", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {metric["name"] for metric in data["metrics"]}
+        assert "dio_shipper_events_total" in names
+
+
+class TestHealthCommand:
+    def test_text_report_lists_stages(self, capsys):
+        assert main(["health", "--scenario", "fluentbit"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("kernel_filter", "ring_buffer", "consumer",
+                      "shipper", "store", "correlator"):
+            assert stage in out
+        assert "p95" in out
+        assert "drop ratio" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["health", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "stages" in report and "derived" in report
+        assert report["stages"][1]["name"] == "ring_buffer"

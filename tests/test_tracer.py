@@ -393,3 +393,32 @@ class TestEventModel:
         small = estimate_record_size("open", {"path": "/a", "flags": 0})
         large = estimate_record_size("open", {"path": "/a" * 100, "flags": 0})
         assert large > small
+
+
+class TestTracerStatsDict:
+    def test_as_dict_covers_every_public_property(self):
+        from repro.tracer.tracer import TracerStats
+
+        expected = {name for name, attr in vars(TracerStats).items()
+                    if isinstance(attr, property)
+                    and not name.startswith("_")}
+        env, kernel, store, tracer = make_env()
+        assert set(tracer.stats.as_dict()) == expected
+
+    def test_as_dict_values_match_properties(self):
+        env, kernel, store, tracer = make_env()
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def workload():
+            fd = yield from kernel.syscall(task, "open", path="/f",
+                                           flags=O_CREAT | O_RDWR)
+            for _ in range(10):
+                yield from kernel.syscall(task, "write", fd=fd, data=b"x")
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(workload()))
+        snapshot = tracer.stats.as_dict()
+        assert snapshot["shipped"] == tracer.stats.shipped == 11
+        for name, value in snapshot.items():
+            assert getattr(tracer.stats, name) == value
