@@ -1,0 +1,184 @@
+"""Query-engine trajectory benchmark: planner vs the pre-planner path.
+
+Builds a ~100k-event synthetic trace (``DIO_BENCH_EVENTS`` overrides
+the size), loads it into a planner-accelerated store and a
+``plan_mode="legacy"`` store (smallest-posting-list heuristic, full
+reindex on every put — the pre-planner cost model), then times
+
+- randomized range-filtered searches (time windows, latency bands,
+  proc-scoped combinations), asserting identical hits and a >= 5x
+  speedup, and
+- the §II-C file-path correlation — single grouped pass vs one
+  ``update_by_query`` per tag plus two counting queries — asserting
+  identical reports/documents and a >= 10x speedup.
+
+Results are appended to ``BENCH_query_engine.json`` at the repo root
+so future PRs can be held to the same trajectory.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.backend import DocumentStore, FilePathCorrelator
+from repro.backend.naive import legacy_correlate
+
+N_EVENTS = int(os.environ.get("DIO_BENCH_EVENTS", "100000"))
+N_QUERIES = 40
+SESSION = "bench"
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_query_engine.json"
+
+#: What the tracer's shipper indexes eagerly (tracer.attach).
+INDEXED_FIELDS = ("syscall", "proc_name", "pid", "tid", "file_tag", "session",
+                  "time", "latency_ns", "file_offset")
+
+_SYSCALLS = ("read", "write", "pread64", "pwrite64", "fsync", "lseek")
+_PROCS = ("db_bench", "fluent-bit", "compaction", "wal_writer")
+
+
+def _make_events(n: int, seed: int = 1207) -> tuple[list[dict], int]:
+    """A synthetic tagged trace: ~1 tag per 200 events, ~10% unresolvable."""
+    rng = random.Random(seed)
+    n_tags = max(1, n // 200)
+    events: list[dict] = []
+    opened: set[int] = set()
+    clock = 0
+    for i in range(n):
+        clock += rng.randrange(500, 1500)
+        tag_no = rng.randrange(n_tags)
+        tag = f"8 {tag_no} {tag_no * 37 % 997}"
+        resolvable = tag_no % 10 != 0
+        event = {
+            "proc_name": _PROCS[tag_no % len(_PROCS)],
+            "pid": 4000 + tag_no % 8,
+            "tid": 4000 + tag_no % 32,
+            "time": clock,
+            "latency_ns": rng.randrange(200, 2_000_000),
+            "file_offset": rng.randrange(0, 1 << 30),
+            "ret": rng.randrange(0, 65536),
+            "session": SESSION,
+            "file_tag": tag,
+        }
+        if resolvable and tag_no not in opened:
+            opened.add(tag_no)
+            event["syscall"] = "openat"
+            event["args"] = {"path": f"/data/sst/{tag_no:06d}.sst"}
+        else:
+            event["syscall"] = _SYSCALLS[i % len(_SYSCALLS)]
+            event["args"] = {"fd": 3 + tag_no % 64}
+        events.append(event)
+    return events, n_tags
+
+
+def _load(events: list[dict], plan_mode: str) -> DocumentStore:
+    store = DocumentStore(plan_mode=plan_mode)
+    store.ensure_index("events", indexed_fields=INDEXED_FIELDS)
+    # Fresh outer dicts per store: correlation mutates sources in place.
+    store.bulk("events", [dict(event) for event in events])
+    return store
+
+
+def _range_queries(rng: random.Random, span_ns: int) -> list[dict]:
+    queries = []
+    for _ in range(N_QUERIES):
+        roll = rng.randrange(3)
+        if roll == 0:
+            lo = rng.randrange(span_ns)
+            queries.append({"range": {"time": {
+                "gte": lo, "lt": lo + span_ns // 64}}})
+        elif roll == 1:
+            lo = rng.randrange(1_900_000)
+            queries.append({"range": {"latency_ns": {
+                "gte": lo, "lte": lo + 30_000}}})
+        else:
+            lo = rng.randrange(span_ns)
+            queries.append({"bool": {"must": [
+                {"term": {"proc_name": rng.choice(_PROCS)}},
+                {"range": {"time": {"gte": lo, "lt": lo + span_ns // 32}}},
+            ]}})
+    return queries
+
+
+def _time_searches(store: DocumentStore, queries: list[dict]) -> tuple[float, list]:
+    hit_ids = []
+    start = time.perf_counter()
+    for query in queries:
+        response = store.search("events", query=query, size=None)
+        hit_ids.append(sorted(h["_id"] for h in response["hits"]["hits"]))
+    return time.perf_counter() - start, hit_ids
+
+
+def _append_trajectory(entry: dict) -> None:
+    trajectory = []
+    if ARTIFACT.exists():
+        trajectory = json.loads(ARTIFACT.read_text())
+    trajectory.append(entry)
+    ARTIFACT.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def test_query_engine_trajectory():
+    events, n_tags = _make_events(N_EVENTS)
+    planner_store = _load(events, "planner")
+    legacy_store = _load(events, "legacy")
+
+    # --- range-filtered search ---------------------------------------
+    span_ns = events[-1]["time"]
+    queries = _range_queries(random.Random(42), span_ns)
+    # Warm pass: amortises the one-time sorted-array builds (load-time
+    # cost in steady state) and records the cold-start price honestly.
+    cold_s, _ = _time_searches(planner_store, queries[:3])
+    _time_searches(legacy_store, queries[:3])
+    legacy_search_s, legacy_hits = _time_searches(legacy_store, queries)
+    planner_search_s, planner_hits = _time_searches(planner_store, queries)
+    assert planner_hits == legacy_hits
+    search_speedup = legacy_search_s / planner_search_s
+
+    # --- §II-C correlation -------------------------------------------
+    start = time.perf_counter()
+    legacy_report = legacy_correlate(legacy_store, "events", session=SESSION)
+    legacy_corr_s = time.perf_counter() - start
+
+    correlator = FilePathCorrelator(planner_store)
+    start = time.perf_counter()
+    planner_report = correlator.correlate("events", session=SESSION)
+    planner_corr_s = time.perf_counter() - start
+    corr_speedup = legacy_corr_s / planner_corr_s
+
+    assert planner_report.as_dict() == legacy_report.as_dict()
+    assert planner_report.tags_resolved > 0
+    assert 0.0 < planner_report.unresolved_ratio < 0.5
+    # Both engines must converge on identical documents.
+    for doc_id in map(str, range(1, N_EVENTS + 1, max(1, N_EVENTS // 997))):
+        assert (planner_store.get_doc("events", doc_id)
+                == legacy_store.get_doc("events", doc_id))
+
+    # The planner must actually be planning, not scanning.
+    assert planner_store.plan_counts["exact"] > 0
+    assert planner_store.pruning_ratio() > 0.5
+
+    entry = {
+        "benchmark": "query_engine_v2",
+        "events": N_EVENTS,
+        "tags": n_tags,
+        "range_search": {
+            "queries": N_QUERIES,
+            "legacy_s": round(legacy_search_s, 4),
+            "planner_s": round(planner_search_s, 4),
+            "planner_cold_s": round(cold_s, 4),
+            "speedup": round(search_speedup, 2),
+        },
+        "correlate": {
+            "legacy_s": round(legacy_corr_s, 4),
+            "planner_s": round(planner_corr_s, 4),
+            "speedup": round(corr_speedup, 2),
+        },
+        "plan_counts": dict(planner_store.plan_counts),
+        "pruning_ratio": round(planner_store.pruning_ratio(), 4),
+        "unresolved_ratio": round(planner_report.unresolved_ratio, 4),
+    }
+    _append_trajectory(entry)
+
+    assert search_speedup >= 5.0, entry
+    assert corr_speedup >= 10.0, entry

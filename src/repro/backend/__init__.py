@@ -8,8 +8,15 @@ package is an in-process substitute exposing the same operations:
   indexing, search, and update-by-query.
 - :mod:`repro.backend.query` — a dict-shaped query DSL (``bool``,
   ``term``, ``terms``, ``range``, ``exists``, ``wildcard``, ``prefix``,
-  ``match_all``) compiled to predicates, accelerated by per-field
-  inverted indexes.
+  ``match_all``) compiled to predicates.
+- :mod:`repro.backend.planner` — the query planner: extracts
+  term/terms/range/prefix/exists constraints into candidate doc-id
+  sets, skipping predicate evaluation entirely when the plan is exact.
+- :mod:`repro.backend.indexes` — per-field secondary indexes backing
+  the planner: postings, sorted (range/prefix) arrays, presence sets.
+- :mod:`repro.backend.naive` — pre-planner reference implementations
+  (full-scan search, per-tag correlation) used as benchmark baselines
+  and property-test oracles.
 - :mod:`repro.backend.aggregations` — ``terms``, ``histogram``,
   ``date_histogram``, ``percentiles``, ``stats`` (and friends), with
   nested sub-aggregations.
@@ -17,8 +24,11 @@ package is an in-process substitute exposing the same operations:
   correlation algorithm, translating file tags into accessed paths.
 """
 
-from repro.backend.store import DocumentStore, Index
+from repro.backend.store import DocumentStore, Index, StoreError
 from repro.backend.query import compile_query, QueryError
+from repro.backend.planner import QueryPlan, plan_query
+from repro.backend.indexes import FieldIndex
+from repro.backend.naive import legacy_correlate, naive_scan
 from repro.backend.aggregations import run_aggregations, AggregationError
 from repro.backend.correlation import FilePathCorrelator, CorrelationReport
 from repro.backend.persistence import (SessionError, delete_session,
@@ -28,8 +38,14 @@ from repro.backend.persistence import (SessionError, delete_session,
 __all__ = [
     "DocumentStore",
     "Index",
+    "StoreError",
     "compile_query",
     "QueryError",
+    "QueryPlan",
+    "plan_query",
+    "FieldIndex",
+    "legacy_correlate",
+    "naive_scan",
     "run_aggregations",
     "AggregationError",
     "FilePathCorrelator",

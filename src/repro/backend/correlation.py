@@ -9,6 +9,14 @@ implements with Elasticsearch's query and update APIs: find each tag's
 opening event, then update every event carrying that tag with the
 resolved ``file_path``.
 
+The resolution runs as **one grouped pass**: a single planner-backed
+stream over the tagged events builds tag -> document groups, then
+resolved groups are updated in place (only the ``file_path`` index is
+refreshed) and the tagged/unresolved tallies fall out of the same
+traversal.  The pre-planner shape — one ``update_by_query`` per tag
+plus two counting queries — survives as
+:func:`repro.backend.naive.legacy_correlate`, the benchmark baseline.
+
 Events whose opening syscall was never captured (e.g. discarded at the
 ring buffer, or the file was opened before tracing started) remain
 unresolved; the ratio of unresolved events is the fidelity metric the
@@ -19,7 +27,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.backend.store import DocumentStore
+from repro.backend.query import get_field
+from repro.backend.store import DocumentStore, _sort_key
 
 #: Syscalls whose events carry both a path argument and a file tag.
 PATH_BEARING_SYSCALLS = ("open", "openat", "creat")
@@ -107,45 +116,52 @@ class FilePathCorrelator:
         ]
         if session:
             must.append({"term": {"session": session}})
-        response = self.store.search(
-            index,
-            query={"bool": {"must": must}},
-            sort=["time"],
-            size=None,
-        )
         mapping: dict[str, str] = {}
-        for hit in response["hits"]["hits"]:
-            source = hit["_source"]
+        best: dict[str, tuple] = {}
+        # scan() returns insertion order; taking >= on the time key
+        # reproduces "stable sort by time, last hit wins".
+        for _, source in self.store.scan(index, {"bool": {"must": must}}):
             path = source.get("args", {}).get("path")
             tag = source.get("file_tag")
-            if path and tag:
+            if not (path and tag):
+                continue
+            key = _sort_key(get_field(source, "time"))
+            if tag not in best or key >= best[tag]:
+                best[tag] = key
                 mapping[tag] = path
         return mapping
 
     def correlate(self, index: str,
                   session: Optional[str] = None) -> CorrelationReport:
         """Run the correlation over ``index`` (optionally one session)."""
+        store = self.store
         mapping = self.tag_to_path(index, session)
 
-        updated = 0
-        for tag, path in mapping.items():
-            query: dict = {"bool": {"must": [{"term": {"file_tag": tag}}]}}
-            if session:
-                query["bool"]["must"].append({"term": {"session": session}})
-            updated += self.store.update_by_query(
-                index, query, {"file_path": path})
-
-        tagged_query: dict = {"bool": {"must": [{"exists": {"field": "file_tag"}}]}}
-        unresolved_query: dict = {"bool": {
-            "must": [{"exists": {"field": "file_tag"}}],
-            "must_not": [{"exists": {"field": "file_path"}}],
-        }}
+        must: list = [{"exists": {"field": "file_tag"}}]
         if session:
-            tagged_query["bool"]["must"].append({"term": {"session": session}})
-            unresolved_query["bool"]["must"].append({"term": {"session": session}})
+            must.append({"term": {"session": session}})
+        tagged_query = {"bool": {"must": must}}
 
-        tagged = self.store.count(index, tagged_query)
-        unresolved = self.store.count(index, unresolved_query)
+        # One grouped pass over the tagged events: documents of resolved
+        # tags are collected for the in-place update, unresolved ones
+        # are tallied on the spot — no per-tag queries, no re-counting.
+        tagged = 0
+        unresolved = 0
+        groups: dict[str, list[str]] = {tag: [] for tag in mapping}
+        for doc_id, source in store.stream(index, tagged_query):
+            tagged += 1
+            tag = source.get("file_tag")
+            ids = groups.get(tag)
+            if ids is not None:
+                ids.append(doc_id)
+            elif get_field(source, "file_path") is None:
+                unresolved += 1
+
+        updated = 0
+        for tag, doc_ids in groups.items():
+            updated += store.update_docs(index, doc_ids,
+                                         {"file_path": mapping[tag]})
+
         report = CorrelationReport(
             tags_resolved=len(mapping),
             documents_updated=updated,

@@ -110,7 +110,8 @@ def import_session(store: DocumentStore, path: str | Path,
             f"{path}: header claims {header.get('events')} events, "
             f"found {len(docs)}")
     store.ensure_index(index, indexed_fields=("syscall", "proc_name", "pid",
-                                              "tid", "file_tag", "session"))
+                                              "tid", "file_tag", "session",
+                                              "time"))
     store.bulk(index, docs)
     return session
 

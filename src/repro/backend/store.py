@@ -3,17 +3,37 @@
 API surface mirrors the slice of Elasticsearch that DIO uses: document
 indexing (including a bulk endpoint the tracer batches into), search
 with query + aggregations + sort + pagination, and update-by-query for
-the correlation algorithm.  Term lookups are accelerated with per-field
-inverted indexes.
+the correlation algorithm.
+
+Reads go through a query planner (:mod:`repro.backend.planner`) backed
+by per-field secondary indexes (:mod:`repro.backend.indexes`): postings
+for ``term``/``terms``, sorted arrays for ``range``/``prefix``, and
+presence sets for ``exists``.  When a plan is *exact* the store skips
+predicate evaluation entirely; otherwise the plan prunes the scan set
+and the compiled predicate re-checks the survivors.  Every plan
+decision is counted (``plan_counts``) and exposed through telemetry as
+``dio_store_plan_{exact,pruned,fullscan}_total`` plus a cumulative
+pruning-ratio gauge.
+
+Writes are delta-aware: re-indexing a document only touches the fields
+whose values actually changed, so the correlator's per-document
+``file_path`` updates no longer rebuild postings for every indexed
+field.  ``plan_mode="legacy"`` preserves the pre-planner behaviour
+(smallest-posting-list heuristic, full reindex on every put) as the
+baseline the benchmarks measure against.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.backend.aggregations import run_aggregations
-from repro.backend.query import compile_query, get_field, term_candidates
+from repro.backend.indexes import FieldIndex
+from repro.backend.planner import QueryPlan, plan_legacy, plan_query
+from repro.backend.query import compile_query, get_field
+
+#: Supported Index planning modes.
+PLAN_MODES = ("planner", "legacy")
 
 
 class StoreError(Exception):
@@ -21,18 +41,25 @@ class StoreError(Exception):
 
 
 class Index:
-    """A named collection of JSON documents with inverted indexes."""
+    """A named collection of JSON documents with secondary indexes."""
 
-    def __init__(self, name: str, indexed_fields: Optional[Iterable[str]] = None):
+    def __init__(self, name: str, indexed_fields: Optional[Iterable[str]] = None,
+                 plan_mode: str = "planner"):
+        if plan_mode not in PLAN_MODES:
+            raise StoreError(f"unknown plan mode {plan_mode!r}")
         self.name = name
+        self.plan_mode = plan_mode
         self._docs: dict[str, dict] = {}
         self._next_id = 1
-        #: field -> value -> set of doc ids.  Fields are added lazily the
-        #: first time a term query touches them, or eagerly via
-        #: ``indexed_fields``.
-        self._inverted: dict[str, dict[Any, set[str]]] = {}
+        #: doc id -> insertion rank; lets index-accelerated scans return
+        #: hits in insertion order, like a full scan would.
+        self._rank: dict[str, int] = {}
+        self._next_rank = 0
+        #: field -> FieldIndex.  Fields are added lazily the first time
+        #: a query touches them, or eagerly via ``indexed_fields``.
+        self._fields: dict[str, FieldIndex] = {}
         for field in indexed_fields or ():
-            self._inverted[field] = defaultdict(set)
+            self._fields[field] = FieldIndex(field)
 
     def __len__(self) -> int:
         return len(self._docs)
@@ -45,16 +72,43 @@ class Index:
         self._next_id += 1
         return doc_id
 
+    def _claim_id(self, doc_id: str) -> None:
+        """Advance the id counter past explicit numeric ids.
+
+        Without this, ``put(source, doc_id="7")`` followed by enough
+        auto-id puts would silently overwrite document ``"7"``.
+        """
+        try:
+            numeric = int(str(doc_id))
+        except ValueError:
+            return
+        if numeric >= self._next_id:
+            self._next_id = numeric + 1
+
     def put(self, source: dict, doc_id: Optional[str] = None) -> str:
-        """Index one document; returns its id."""
+        """Index one document; returns its id.
+
+        Re-putting an existing id is delta-aware: only the secondary
+        indexes whose field values changed are touched, and in-place
+        mutations of the stored source are handled correctly because
+        each :class:`FieldIndex` remembers the value it indexed under.
+        """
         if not isinstance(source, dict):
             raise StoreError(f"document source must be a dict: {source!r}")
         if doc_id is None:
             doc_id = self._generate_id()
-        elif doc_id in self._docs:
-            self._remove_from_inverted(doc_id, self._docs[doc_id])
+        else:
+            self._claim_id(doc_id)
+        if doc_id not in self._rank:
+            self._rank[doc_id] = self._next_rank
+            self._next_rank += 1
         self._docs[doc_id] = source
-        self._add_to_inverted(doc_id, source)
+        if self.plan_mode == "planner":
+            for field, index in self._fields.items():
+                index.update(doc_id, get_field(source, field))
+        else:
+            for field, index in self._fields.items():
+                index.churn(doc_id, get_field(source, field))
         return doc_id
 
     def delete(self, doc_id: str) -> bool:
@@ -62,82 +116,152 @@ class Index:
         source = self._docs.pop(doc_id, None)
         if source is None:
             return False
-        self._remove_from_inverted(doc_id, source)
+        self._rank.pop(doc_id, None)
+        for index in self._fields.values():
+            index.remove(doc_id)
         return True
 
     def get(self, doc_id: str) -> Optional[dict]:
         """Fetch a document source by id."""
         return self._docs.get(doc_id)
 
-    def _add_to_inverted(self, doc_id: str, source: dict) -> None:
-        for field, postings in self._inverted.items():
-            value = get_field(source, field)
-            if _is_indexable(value):
-                postings.setdefault(value, set()).add(doc_id)
+    def documents(self) -> Iterator[tuple[str, dict]]:
+        """All (id, source) pairs in insertion order."""
+        return iter(self._docs.items())
 
-    def _remove_from_inverted(self, doc_id: str, source: dict) -> None:
-        for field, postings in self._inverted.items():
-            value = get_field(source, field)
-            if _is_indexable(value):
-                ids = postings.get(value)
-                if ids is not None:
-                    ids.discard(doc_id)
+    def ensure_indexed(self, field: str) -> FieldIndex:
+        """Build (or fetch) the secondary index for ``field``."""
+        index = self._fields.get(field)
+        if index is None:
+            index = FieldIndex(field)
+            for doc_id, source in self._docs.items():
+                index.update(doc_id, get_field(source, field))
+            self._fields[field] = index
+        return index
 
-    def ensure_indexed(self, field: str) -> None:
-        """Build an inverted index for ``field`` if missing."""
-        if field in self._inverted:
+    def _affected_fields(self,
+                         fields: Optional[Iterable[str]]) -> list[FieldIndex]:
+        """Secondary indexes a change to ``fields`` can invalidate."""
+        if fields is None:
+            return list(self._fields.values())
+        affected = []
+        for name, index in self._fields.items():
+            for changed in fields:
+                if name == changed or name.startswith(changed + "."):
+                    affected.append(index)
+                    break
+        return affected
+
+    def refresh_many(self, doc_ids: Iterable[str],
+                     fields: Optional[Iterable[str]] = None) -> None:
+        """Re-read indexed values after in-place source mutations.
+
+        ``fields`` narrows the work to indexes that can actually have
+        changed (e.g. the correlator only ever sets ``file_path``).
+        """
+        if self.plan_mode != "planner":
+            for doc_id in doc_ids:
+                source = self._docs.get(doc_id)
+                if source is not None:
+                    self.put(source, doc_id)
             return
-        postings: dict[Any, set[str]] = defaultdict(set)
-        for doc_id, source in self._docs.items():
-            value = get_field(source, field)
-            if _is_indexable(value):
-                postings[value].add(doc_id)
-        self._inverted[field] = postings
+        affected = self._affected_fields(fields)
+        if not affected:
+            return
+        docs = self._docs
+        for doc_id in doc_ids:
+            source = docs.get(doc_id)
+            if source is None:
+                continue
+            for index in affected:
+                index.update(doc_id, get_field(source, index.field))
 
     # ------------------------------------------------------------------
     # Read path
 
-    def candidate_ids(self, query: Optional[dict]) -> Optional[set[str]]:
-        """Narrow the scan set with inverted indexes, if possible."""
-        pairs = term_candidates(query)
-        if not pairs:
-            return None
-        best: Optional[set[str]] = None
-        for field, values in pairs:
-            self.ensure_indexed(field)
-            postings = self._inverted[field]
-            ids: set[str] = set()
-            for value in values:
-                if _is_indexable(value):
-                    ids |= postings.get(value, set())
-            if best is None or len(ids) < len(best):
-                best = ids
-        return best
+    def plan(self, query: Optional[dict]) -> QueryPlan:
+        """Plan ``query`` against this index's secondary indexes."""
+        if self.plan_mode == "legacy":
+            return plan_legacy(query, self.ensure_indexed)
+        return plan_query(query, self.ensure_indexed)
 
-    def scan(self, query: Optional[dict]) -> list[tuple[str, dict]]:
-        """All (id, source) pairs matching ``query``."""
+    def scan(self, query: Optional[dict],
+             plan: Optional[QueryPlan] = None) -> list[tuple[str, dict]]:
+        """All (id, source) pairs matching ``query``, insertion-ordered."""
+        predicate = compile_query(query)   # validates even on exact plans
+        if plan is None:
+            plan = self.plan(query)
+        docs = self._docs
+        if plan.ids is None:
+            if plan.exact:
+                return list(docs.items())
+            return [(doc_id, source) for doc_id, source in docs.items()
+                    if predicate(source)]
+        ordered = sorted(plan.ids, key=self._rank.__getitem__)
+        if plan.exact:
+            return [(doc_id, docs[doc_id]) for doc_id in ordered]
+        matches = []
+        for doc_id in ordered:
+            source = docs[doc_id]
+            if predicate(source):
+                matches.append((doc_id, source))
+        return matches
+
+    def iter_matches(self, query: Optional[dict],
+                     plan: Optional[QueryPlan] = None
+                     ) -> Iterator[tuple[str, dict]]:
+        """Yield matches without ordering guarantees (analytics path)."""
         predicate = compile_query(query)
-        candidates = self.candidate_ids(query)
-        if candidates is None:
-            return [(doc_id, src) for doc_id, src in self._docs.items()
-                    if predicate(src)]
-        return [(doc_id, self._docs[doc_id])
-                for doc_id in candidates
-                if doc_id in self._docs and predicate(self._docs[doc_id])]
+        if plan is None:
+            plan = self.plan(query)
+        docs = self._docs
+        if plan.ids is None:
+            if plan.exact:
+                yield from docs.items()
+            else:
+                for doc_id, source in docs.items():
+                    if predicate(source):
+                        yield doc_id, source
+        elif plan.exact:
+            for doc_id in plan.ids:
+                yield doc_id, docs[doc_id]
+        else:
+            for doc_id in plan.ids:
+                source = docs[doc_id]
+                if predicate(source):
+                    yield doc_id, source
 
-
-def _is_indexable(value: Any) -> bool:
-    return isinstance(value, (str, int, float, bool, tuple)) and value is not None
+    def count(self, query: Optional[dict],
+              plan: Optional[QueryPlan] = None) -> int:
+        """Number of matches, without materialising (id, source) pairs."""
+        if plan is None:
+            plan = self.plan(query)
+        if plan.exact:
+            return len(self._docs) if plan.ids is None else len(plan.ids)
+        predicate = compile_query(query)
+        if plan.ids is None:
+            return sum(1 for source in self._docs.values()
+                       if predicate(source))
+        docs = self._docs
+        return sum(1 for doc_id in plan.ids if predicate(docs[doc_id]))
 
 
 class DocumentStore:
     """A collection of named indices — the in-process "Elasticsearch"."""
 
-    def __init__(self) -> None:
+    def __init__(self, plan_mode: str = "planner") -> None:
+        if plan_mode not in PLAN_MODES:
+            raise StoreError(f"unknown plan mode {plan_mode!r}")
+        self.plan_mode = plan_mode
         self._indices: dict[str, Index] = {}
         self.bulk_requests = 0
         self.documents_indexed = 0
         self.queries = 0
+        #: Query-planner decisions, by plan mode.
+        self.plan_counts = {"exact": 0, "pruned": 0, "fullscan": 0}
+        #: Documents the executed plans had to examine vs. were stored.
+        self.docs_examined = 0
+        self.docs_available = 0
         self._telemetry: Optional[dict] = None
 
     def bind_telemetry(self, registry, clock=None) -> None:
@@ -165,6 +289,16 @@ class DocumentStore:
             "dio_store_queries_total",
             "Search and count requests served.",
         ).set_function(lambda: self.queries)
+        for mode in ("exact", "pruned", "fullscan"):
+            registry.counter(
+                f"dio_store_plan_{mode}_total",
+                f"Queries the planner resolved as {mode}.",
+            ).set_function(lambda mode=mode: self.plan_counts[mode])
+        registry.gauge(
+            "dio_store_plan_pruning_ratio",
+            "Cumulative fraction of stored documents the planner's "
+            "candidate sets skipped (1.0 = nothing scanned).",
+        ).set_function(self.pruning_ratio)
         self._telemetry = {
             "clock": clock,
             "bulk_docs": registry.histogram(
@@ -192,6 +326,12 @@ class DocumentStore:
             return None
         return self._telemetry["clock"]()
 
+    def pruning_ratio(self) -> float:
+        """1 - (docs examined / docs stored), cumulative over queries."""
+        if self.docs_available == 0:
+            return 0.0
+        return 1.0 - self.docs_examined / self.docs_available
+
     # ------------------------------------------------------------------
     # Index management
 
@@ -200,7 +340,7 @@ class DocumentStore:
         """Create an index; error if it exists."""
         if name in self._indices:
             raise StoreError(f"index {name!r} already exists")
-        index = Index(name, indexed_fields)
+        index = Index(name, indexed_fields, plan_mode=self.plan_mode)
         self._indices[name] = index
         return index
 
@@ -227,10 +367,25 @@ class DocumentStore:
             raise StoreError(f"no such index {name!r}")
         return index
 
+    def _plan(self, target: Index, query: Optional[dict]) -> QueryPlan:
+        """Plan a query and record the decision for telemetry."""
+        plan = target.plan(query)
+        self.plan_counts[plan.mode] += 1
+        stored = len(target)
+        self.docs_available += stored
+        self.docs_examined += stored if plan.ids is None else len(plan.ids)
+        return plan
+
     def count(self, index: str, query: Optional[dict] = None) -> int:
-        """Number of documents matching ``query``."""
+        """Number of documents matching ``query``.
+
+        Counting never materialises hit tuples: exact plans answer from
+        candidate-set sizes alone, pruned/fullscan plans stream the
+        predicate over sources.
+        """
         self.queries += 1
-        return len(self._index(index).scan(query))
+        target = self._index(index)
+        return target.count(query, self._plan(target, query))
 
     # ------------------------------------------------------------------
     # Document APIs
@@ -264,6 +419,24 @@ class DocumentStore:
     # ------------------------------------------------------------------
     # Search
 
+    def scan(self, index: str,
+             query: Optional[dict] = None) -> list[tuple[str, dict]]:
+        """All matching (id, source) pairs, without response envelopes.
+
+        The lean read path for analytics (correlation, detectors) that
+        want raw sources rather than ES-shaped hit dicts.
+        """
+        self.queries += 1
+        target = self._index(index)
+        return target.scan(query, self._plan(target, query))
+
+    def stream(self, index: str,
+               query: Optional[dict] = None) -> Iterator[tuple[str, dict]]:
+        """Iterate matches without materialising or ordering them."""
+        self.queries += 1
+        target = self._index(index)
+        return target.iter_matches(query, self._plan(target, query))
+
     def search(self, index: str, query: Optional[dict] = None,
                aggs: Optional[dict] = None,
                sort: Optional[list] = None,
@@ -275,9 +448,14 @@ class DocumentStore:
         ``{"field": {"order": "desc"}}`` dicts.  ``size=None`` returns
         all hits.
         """
+        if from_ < 0:
+            raise StoreError(f"from_ must be non-negative: {from_}")
+        if size is not None and size < 0:
+            raise StoreError(f"size must be non-negative or None: {size}")
         start = self._span_start()
         self.queries += 1
-        matches = self._index(index).scan(query)
+        target = self._index(index)
+        matches = target.scan(query, self._plan(target, query))
         total = len(matches)
         if self._telemetry is not None:
             self._telemetry["query_hits"].observe(total)
@@ -317,23 +495,38 @@ class DocumentStore:
 
         ``update`` is either a callable mutating the source in place or
         a dict of fields to set (the common correlation case).  Returns
-        the number of updated documents.
+        the number of updated documents.  Re-indexing is delta-aware:
+        for dict updates only the named fields' indexes are refreshed.
         """
         target = self._index(index)
-        matches = target.scan(query)
-        for doc_id, source in matches:
+        matches = target.scan(query, self._plan(target, query))
+        fields = None if callable(update) else tuple(update)
+        for _, source in matches:
             if callable(update):
                 update(source)
             else:
                 source.update(update)
-            # Re-put to refresh inverted indexes for changed fields.
-            target.put(source, doc_id)
+        target.refresh_many((doc_id for doc_id, _ in matches), fields)
         return len(matches)
+
+    def update_docs(self, index: str, doc_ids: Iterable[str],
+                    fields: dict) -> int:
+        """Set ``fields`` on specific documents by id (delta reindex)."""
+        target = self._index(index)
+        updated = []
+        for doc_id in doc_ids:
+            source = target.get(doc_id)
+            if source is None:
+                continue
+            source.update(fields)
+            updated.append(doc_id)
+        target.refresh_many(updated, tuple(fields))
+        return len(updated)
 
     def delete_by_query(self, index: str, query: Optional[dict]) -> int:
         """Delete every matching document; returns how many."""
         target = self._index(index)
-        matches = target.scan(query)
+        matches = target.scan(query, self._plan(target, query))
         for doc_id, _ in matches:
             target.delete(doc_id)
         return len(matches)

@@ -172,7 +172,7 @@ class DIOTracer:
         self.store.ensure_index(
             self.config.index,
             indexed_fields=("syscall", "proc_name", "pid", "tid",
-                            "file_tag", "session"))
+                            "file_tag", "session", "time"))
         self._running = True
         self._consumer = self.env.process(self._consume_loop())
 

@@ -86,6 +86,65 @@ class TestDocumentAPIs:
         assert store.count("events") == 2
 
 
+class TestIdAllocation:
+    def test_explicit_numeric_id_advances_auto_ids(self, store):
+        # Regression: an explicit numeric id used to leave ``_next_id``
+        # behind, so the next auto-id silently overwrote the document.
+        store.index_doc("idx", {"who": "explicit"}, doc_id="7")
+        auto_id = store.index_doc("idx", {"who": "auto"})
+        assert auto_id != "7"
+        assert store.get_doc("idx", "7") == {"who": "explicit"}
+        assert store.get_doc("idx", auto_id) == {"who": "auto"}
+
+    def test_explicit_int_id_advances_auto_ids(self, store):
+        store.index_doc("idx", {"who": "explicit"}, doc_id=3)
+        assert store.index_doc("idx", {"who": "auto"}) == "4"
+
+    def test_non_numeric_ids_leave_sequence_alone(self, store):
+        store.index_doc("idx", {"k": 1}, doc_id="alpha")
+        assert store.index_doc("idx", {"k": 2}) == "1"
+        assert store.count("idx") == 2
+
+
+class TestSearchValidation:
+    def test_negative_from_rejected(self, store):
+        seed_events(store)
+        with pytest.raises(StoreError):
+            store.search("events", from_=-1)
+
+    def test_negative_size_rejected(self, store):
+        seed_events(store)
+        with pytest.raises(StoreError):
+            store.search("events", size=-5)
+
+    def test_zero_size_still_counts(self, store):
+        seed_events(store)
+        response = store.search("events", size=0)
+        assert response["hits"]["hits"] == []
+        assert response["hits"]["total"]["value"] == 6
+
+
+class TestCount:
+    def test_count_matches_search_total(self, store):
+        seed_events(store)
+        query = {"term": {"proc_name": "app"}}
+        total = store.search("events", query=query)["hits"]["total"]["value"]
+        assert store.count("events", query) == total
+
+    def test_count_without_query_is_index_size(self, store):
+        seed_events(store)
+        assert store.count("events") == 6
+
+    def test_count_skips_materialization_on_exact_plans(self, store):
+        seed_events(store)
+        scanned = []
+        original = store._index("events").scan
+        store._index("events").scan = (
+            lambda *a, **k: scanned.append(1) or original(*a, **k))
+        assert store.count("events", {"term": {"syscall": "openat"}}) == 2
+        assert not scanned
+
+
 class TestSearch:
     def test_query_filters_hits(self, store):
         seed_events(store)

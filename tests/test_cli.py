@@ -143,6 +143,23 @@ class TestMetricsCommand:
         names = {metric["name"] for metric in data["metrics"]}
         assert "dio_shipper_events_total" in names
 
+    def test_query_planner_counters_exported(self, capsys):
+        # End-to-end: the scenario's stop-time correlation runs planned
+        # queries, so the planner decision counters must be live.
+        assert main(["metrics", "--scenario", "fluentbit"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE dio_store_plan_exact_total counter" in out
+        assert "dio_store_plan_pruning_ratio" in out
+        planned = {
+            mode: value
+            for mode in ("exact", "pruned", "fullscan")
+            for line in out.splitlines()
+            if line.startswith(f"dio_store_plan_{mode}_total ")
+            for value in [float(line.split()[-1])]
+        }
+        assert sum(planned.values()) > 0
+        assert planned["exact"] > 0
+
 
 class TestHealthCommand:
     def test_text_report_lists_stages(self, capsys):
