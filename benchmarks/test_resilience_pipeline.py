@@ -1,0 +1,94 @@
+"""Resilience benchmark: ingestion envelopes under a scripted outage.
+
+Traces the RocksDB workload through three backend outages (one per
+fault kind) and asserts the envelopes `docs/RELIABILITY.md` promises:
+zero lost accepted records, full spill replay, breaker
+opened-and-reclosed, the application isolated from the outage, and a
+bit-for-bit deterministic rerun. ``DIO_RESILIENCE_MS`` overrides the
+traced duration (CI smoke runs use a reduced window).
+
+Each run appends to ``BENCH_resilience.json`` at the repo root so the
+envelope trajectory — drain lag, spill volume, retry pressure — is
+held across PRs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.resilience import ResilienceScale, run_resilience_case
+
+MS = 1_000_000
+DURATION_MS = int(os.environ.get("DIO_RESILIENCE_MS", "1000"))
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+
+def _scale() -> ResilienceScale:
+    if DURATION_MS >= 1000:
+        return ResilienceScale(duration_ns=DURATION_MS * MS)
+    # Smoke size: lighter workload, outages still long enough to
+    # exhaust ship_max_retries past one breaker recovery window.
+    return ResilienceScale(duration_ns=DURATION_MS * MS,
+                           client_threads=2, key_count=4_000,
+                           outage_ns=max(100 * MS, DURATION_MS * MS // 6))
+
+
+def _append_trajectory(entry: dict) -> None:
+    trajectory = []
+    if ARTIFACT.exists():
+        trajectory = json.loads(ARTIFACT.read_text())
+    trajectory.append(entry)
+    ARTIFACT.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def test_resilience_envelopes_trajectory():
+    scale = _scale()
+    wall_start = time.perf_counter()
+    case = run_resilience_case(scale)
+    wall_s = time.perf_counter() - wall_start
+    report = case.verify()  # the loss/latency envelopes
+
+    # Determinism: an identical-seed rerun reproduces the report
+    # byte for byte (modulo the baseline field the rerun skips).
+    rerun = run_resilience_case(scale, compare_baseline=False).report()
+    pruned = dict(report, envelope=dict(report["envelope"]))
+    for key in ("baseline_app_done_ns", "baseline_drain_lag_ns"):
+        pruned["envelope"].pop(key)
+        rerun["envelope"].pop(key)
+    assert rerun == pruned
+
+    stats = report["stats"]
+    entry = {
+        "benchmark": "resilience_pipeline",
+        "duration_ms": DURATION_MS,
+        "accepted": report["accepted"],
+        "indexed": report["indexed"],
+        "lost": report["lost"],
+        "faults_injected": report["faults_injected"],
+        "bulk_attempts": stats["bulk_attempts"],
+        "ship_retries": stats["ship_retries"],
+        "retry_rate": round(stats["retry_rate"], 4),
+        "spilled": report["spill"]["records"],
+        "replayed": report["spill"]["replayed"],
+        "breaker": report["breaker"],
+        "backoff_waited_ms": round(report["backoff"]["waited_ns"] / MS, 3),
+        "drain_lag_ms": round(report["envelope"]["drain_lag_ns"] / MS, 3),
+        "baseline_drain_lag_ms": round(
+            report["envelope"]["baseline_drain_lag_ns"] / MS, 3),
+        "app_delta_ns": (report["envelope"]["app_done_ns"]
+                         - report["envelope"]["baseline_app_done_ns"]),
+        "wall_s": round(wall_s, 3),
+    }
+    _append_trajectory(entry)
+
+    # The envelopes, restated as hard floors for the trajectory
+    # (verify() already enforced them — including the drain-lag budget
+    # of baseline + DRAIN_LAG_FACTOR x outage — so failures here mean
+    # report drift).
+    assert entry["lost"] == 0, entry
+    assert entry["indexed"] == entry["accepted"], entry
+    assert entry["spilled"] > 0 and entry["replayed"] == entry["spilled"], entry
+    assert entry["breaker"]["opened"] >= 1, entry
+    assert entry["breaker"]["closed"] >= 1, entry
+    assert entry["app_delta_ns"] == 0, entry

@@ -7,6 +7,7 @@ Runs the paper's experiments from a terminal::
     dio rocksdb --duration 2.0        # §III-C, Fig. 3 + Fig. 4
     dio overhead --ops 1500           # §III-D, Table II
     dio capabilities                  # Table III
+    dio resilience                    # ingestion under backend outage
 
 Each subcommand prints the DIO dashboards the corresponding figure or
 table was generated from.  Traces can be kept for post-mortem work
@@ -202,6 +203,56 @@ def _cmd_overhead(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    import json
+
+    from repro.experiments import ResilienceScale, run_resilience_case
+    from repro.visualizer import render_table
+
+    scale = ResilienceScale(duration_ns=int(args.duration * SECOND))
+    case = run_resilience_case(scale, compare_baseline=not args.no_baseline)
+    try:
+        report = case.verify()
+        verdict = "PASS"
+    except AssertionError as exc:
+        report = case.report()
+        verdict = f"FAIL: {exc}"
+
+    print("Resilient ingestion — RocksDB traced through a scripted "
+          "backend outage\n")
+    rows = [[w["kind"], f"{w['start_ns'] / 1e9:.3f} s",
+             f"{(w['end_ns'] - w['start_ns']) / 1e6:.0f} ms"]
+            for w in report["plan"]["windows"]]
+    print(render_table(["fault", "start", "length"], rows))
+    print()
+    stats = report["stats"]
+    print(f"accepted records   : {report['accepted']}")
+    print(f"indexed records    : {report['indexed']}")
+    print(f"lost records       : {report['lost']}")
+    print(f"faults injected    : {report['faults_injected']}")
+    print(f"bulk retries       : {stats['ship_retries']} "
+          f"({stats['retry_rate'] * 100:.2f}% of "
+          f"{stats['bulk_attempts']} attempts)")
+    print(f"breaker transitions: opened {report['breaker']['opened']}, "
+          f"closed {report['breaker']['closed']}")
+    print(f"spill WAL          : {report['spill']['records']} spilled, "
+          f"{report['spill']['replayed']} replayed, "
+          f"{report['spill']['pending']} pending")
+    envelope = report["envelope"]
+    print(f"drain lag          : {envelope['drain_lag_ns'] / 1e9:.3f} "
+          "virtual s after app exit")
+    if envelope["baseline_app_done_ns"] is not None:
+        delta = (envelope["app_done_ns"]
+                 - envelope["baseline_app_done_ns"])
+        print(f"app vs fault-free  : {delta:+d} ns")
+    print(f"\nloss/latency envelope: {verdict}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0 if verdict == "PASS" else 1
+
+
 def _cmd_capabilities(_args) -> int:
     from repro.baselines import capability_table
 
@@ -222,13 +273,19 @@ def _run_traced_scenario(args):
 
         scale = RocksDBScale(duration_ns=int(args.duration * SECOND))
         return run_rocksdb_case(scale).tracer
+    if args.scenario == "resilience":
+        from repro.experiments import ResilienceScale, run_resilience_case
+
+        scale = ResilienceScale(duration_ns=int(args.duration * SECOND))
+        return run_resilience_case(scale, compare_baseline=False).tracer
     from repro.experiments import run_fluentbit_case
 
     return run_fluentbit_case(args.version).tracer
 
 
 def _add_scenario_arguments(parser) -> None:
-    parser.add_argument("--scenario", choices=("fluentbit", "rocksdb"),
+    parser.add_argument("--scenario",
+                        choices=("fluentbit", "rocksdb", "resilience"),
                         default="fluentbit",
                         help="traced workload to run (default: fluentbit)")
     parser.add_argument("--version", choices=("1.4.0", "2.0.5"),
@@ -236,7 +293,7 @@ def _add_scenario_arguments(parser) -> None:
                         help="Fluent Bit version (fluentbit scenario)")
     parser.add_argument("--duration", type=float, default=0.4,
                         help="virtual seconds of db_bench load "
-                             "(rocksdb scenario)")
+                             "(rocksdb/resilience scenarios)")
 
 
 def _cmd_metrics(args) -> int:
@@ -322,6 +379,19 @@ def main(argv: list[str] | None = None) -> int:
     p_ovh.add_argument("--ops", type=int, default=1500,
                        help="operations per client thread")
     p_ovh.set_defaults(func=_cmd_overhead)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="trace RocksDB through a scripted backend outage and "
+             "check the loss/latency envelopes")
+    p_res.add_argument("--duration", type=float, default=1.0,
+                       help="virtual seconds of db_bench load")
+    p_res.add_argument("--json", metavar="PATH",
+                       help="write the scenario report as JSON")
+    p_res.add_argument("--no-baseline", action="store_true",
+                       help="skip the fault-free twin run (faster; "
+                            "drops the app-isolation check)")
+    p_res.set_defaults(func=_cmd_resilience)
 
     p_cap = sub.add_parser("capabilities", help="Table III feature matrix")
     p_cap.set_defaults(func=_cmd_capabilities)

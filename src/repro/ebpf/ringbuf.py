@@ -127,6 +127,11 @@ class PerCPURingBuffer:
             "dio_ring_max_fill_bytes",
             "High-water mark of any single CPU buffer's fill.",
         ).set_function(lambda: stats.max_fill_bytes)
+        registry.gauge(
+            "dio_ring_fill_ratio",
+            "Fullest CPU buffer's fill fraction (1.0 = at capacity); "
+            "rises when consumer backpressure blocks draining.",
+        ).set_function(self.fill_ratio)
 
     def produce(self, cpu: int, record: Any, size_bytes: int) -> bool:
         """Offer a record from kernel space.
@@ -196,6 +201,10 @@ class PerCPURingBuffer:
     def pending_records(self) -> int:
         """Total records queued across CPUs."""
         return sum(len(b.records) for b in self._buffers)
+
+    def fill_ratio(self) -> float:
+        """Fill fraction of the fullest CPU buffer (0.0 .. 1.0)."""
+        return max(b.used / b.capacity for b in self._buffers)
 
     def __repr__(self) -> str:
         return (f"<PerCPURingBuffer ncpus={self.ncpus} "

@@ -11,11 +11,17 @@ examples assert on and render:
 - :mod:`repro.experiments.overhead` — §III-D / Table II (the same
   workload under vanilla / sysdig / DIO / strace) and the ring-buffer
   discard measurement.
+- :mod:`repro.experiments.resilience` — the RocksDB workload traced
+  through a scripted backend outage; asserts the ingestion path's
+  loss/latency envelopes (see ``docs/RELIABILITY.md``).
 """
 
 from repro.experiments.fluentbit_case import FluentBitCaseResult, run_fluentbit_case
 from repro.experiments.rocksdb_case import RocksDBCaseResult, run_rocksdb_case
 from repro.experiments.overhead import OverheadResult, run_overhead_comparison
+from repro.experiments.resilience import (ResilienceCaseResult,
+                                          ResilienceScale,
+                                          run_resilience_case)
 from repro.experiments.sqlite_case import (SQLiteCaseResult, run_both_modes,
                                            run_sqlite_case)
 
@@ -26,6 +32,9 @@ __all__ = [
     "run_rocksdb_case",
     "OverheadResult",
     "run_overhead_comparison",
+    "ResilienceCaseResult",
+    "ResilienceScale",
+    "run_resilience_case",
     "SQLiteCaseResult",
     "run_both_modes",
     "run_sqlite_case",

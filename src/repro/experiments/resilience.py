@@ -1,0 +1,286 @@
+"""Resilient ingestion under a scripted backend outage.
+
+Traces the §III-C RocksDB workload while the backend suffers a
+scripted :class:`~repro.faults.FaultPlan` — by default three outages,
+one of each kind (error, timeout, slowdown) — and accounts for every
+record the ring buffers accepted.  This is the ingestion-path
+counterpart of the paper's overhead study: instead of asking "what
+does tracing cost the application?", it asks "what does a misbehaving
+backend cost the diagnosis data?".
+
+The answer the hardened consumer must produce (and
+:meth:`ResilienceCaseResult.verify` asserts):
+
+- **zero loss** — every accepted record is eventually indexed; batches
+  that exhausted their retries went through the spill WAL and were
+  replayed on recovery;
+- **zero duplicates** — the backend holds exactly one document per
+  accepted record (fault injection fails *before* the store mutates);
+- **application isolation** — the traced workload finishes at the
+  same virtual instant as in a fault-free run (the shipping path is
+  asynchronous);
+- **visible degradation** — the breaker opened and closed again,
+  backoff waits accumulated, and the spill/replay counters moved, all
+  observable in ``dio metrics`` / ``dio health``.
+
+Everything is deterministic: same scale + seed, byte-identical report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import NamedTuple, Optional
+
+from repro.backend import DocumentStore
+from repro.experiments.rocksdb_case import (DATA_SYSCALL_SCOPE, RocksDBScale,
+                                            build_kernel)
+from repro.apps.rocksdb import DBBench, RocksDB
+from repro.faults import FaultPlan, FaultWindow, FaultyStore
+from repro.tracer import DIOTracer, TracerConfig
+
+SECOND = 1_000_000_000
+MS = 1_000_000
+
+#: Latency envelope: the outage may cost the pipeline at most
+#: ``5 x total outage + slack`` of extra drain time over a fault-free
+#: twin run (retries, backoff, breaker recovery windows, timeout
+#: hangs, slowdown penalties, the backlog accumulated while shipping
+#: was stalled, and spill replay all scale with the outage; the slack
+#: absorbs scheduling quantisation).
+DRAIN_LAG_FACTOR = 5
+DRAIN_LAG_SLACK_NS = 100 * MS
+
+
+@dataclasses.dataclass
+class ResilienceScale:
+    """Workload size and outage schedule of the resilience scenario."""
+
+    #: Traced benchmark duration (virtual ns).
+    duration_ns: int = 1 * SECOND
+    client_threads: int = 4
+    key_count: int = 10_000
+    value_size: int = 256
+    read_fraction: float = 0.5
+    seed: int = 42
+    ncpus: int = 4
+    #: Length of each scripted outage (virtual ns).
+    outage_ns: int = 120 * MS
+    #: One outage per kind, in this order, evenly spread over the run.
+    outage_kinds: tuple = ("error", "timeout", "slowdown")
+    #: Hang charged per request during the ``timeout`` outage.
+    timeout_fault_ns: int = 30 * MS
+    #: Latency multiplier during the ``slowdown`` outage.
+    slowdown_factor: float = 6.0
+
+    def rocksdb_scale(self) -> RocksDBScale:
+        """The underlying §III-C testbed at this scenario's size."""
+        return RocksDBScale(
+            duration_ns=self.duration_ns,
+            client_threads=self.client_threads,
+            key_count=self.key_count,
+            value_size=self.value_size,
+            read_fraction=self.read_fraction,
+            seed=self.seed,
+            ncpus=self.ncpus)
+
+    def fault_plan(self) -> FaultPlan:
+        """The scripted outages, evenly spread over the trace window.
+
+        Outage length is clamped to 3/4 of the spacing between window
+        starts, so shrinking ``duration_ns`` (CI smoke runs) can never
+        produce an overlapping — hence invalid — plan.
+        """
+        count = len(self.outage_kinds)
+        spacing = self.duration_ns // (count + 1)
+        if spacing == 0:  # degenerate duration: no room for any outage
+            return FaultPlan()
+        length = max(1, min(self.outage_ns, spacing * 3 // 4))
+        windows = []
+        for index, kind in enumerate(self.outage_kinds):
+            start = spacing * (index + 1)
+            windows.append(FaultWindow(
+                start, start + length, kind,
+                timeout_ns=self.timeout_fault_ns,
+                slowdown_factor=self.slowdown_factor))
+        return FaultPlan(windows)
+
+    def tracer_config(self, session_name: str) -> TracerConfig:
+        """Resilience knobs tuned so one outage exercises every path:
+        the breaker trips within an outage, at least one batch
+        exhausts its retries into the spill WAL, and recovery replays
+        it before the next outage."""
+        return TracerConfig(
+            syscalls=DATA_SYSCALL_SCOPE,
+            session_name=session_name,
+            ship_max_retries=4,
+            ship_retry_backoff_ns=5 * MS,
+            backoff_cap_ns=40 * MS,
+            breaker_failure_threshold=3,
+            breaker_recovery_ns=60 * MS,
+            spill_replay_failure_budget=50)
+
+
+class ResilienceCaseResult(NamedTuple):
+    """Everything the resilience scenario produced."""
+
+    tracer: DIOTracer
+    store: DocumentStore
+    faulty: FaultyStore
+    plan: FaultPlan
+    #: Virtual instant the benchmark finished.
+    app_done_ns: int
+    #: Virtual instant the pipeline finished draining + correlating.
+    pipeline_done_ns: int
+    #: ``app_done_ns`` of the fault-free twin run (None if skipped).
+    baseline_app_done_ns: Optional[int]
+    #: ``pipeline_done_ns`` of the fault-free twin run.
+    baseline_pipeline_done_ns: Optional[int]
+
+    @property
+    def drain_lag_ns(self) -> int:
+        """How long the pipeline kept working after the application."""
+        return self.pipeline_done_ns - self.app_done_ns
+
+    @property
+    def baseline_drain_lag_ns(self) -> Optional[int]:
+        """The fault-free twin's drain lag (None if skipped)."""
+        if self.baseline_pipeline_done_ns is None:
+            return None
+        return self.baseline_pipeline_done_ns - self.baseline_app_done_ns
+
+    def report(self) -> dict:
+        """The scenario outcome as plain data (the JSON artifact)."""
+        stats = self.tracer.stats
+        registry = self.tracer.telemetry.registry
+        accepted = stats.produced
+        indexed = self.store.count(self.tracer.config.index)
+        return {
+            "plan": self.plan.as_dict(),
+            "faults_injected": dict(self.faulty.injected),
+            "accepted": accepted,
+            "indexed": indexed,
+            "lost": accepted - indexed - stats.spill_pending,
+            "stats": stats.as_dict(),
+            "breaker": {
+                "opened": registry.value("dio_breaker_opened_total"),
+                "half_open": registry.value("dio_breaker_half_open_total"),
+                "closed": registry.value("dio_breaker_closed_total"),
+            },
+            "backoff": {
+                "waits": registry.value("dio_consumer_backoff_waits_total"),
+                "waited_ns": registry.value("dio_consumer_backoff_ns_total"),
+            },
+            "spill": {
+                "records": registry.value("dio_spill_records_total"),
+                "replayed": registry.value("dio_spill_replayed_records_total"),
+                "pending": registry.value("dio_spill_pending_records"),
+            },
+            "envelope": {
+                "app_done_ns": self.app_done_ns,
+                "pipeline_done_ns": self.pipeline_done_ns,
+                "drain_lag_ns": self.drain_lag_ns,
+                "baseline_app_done_ns": self.baseline_app_done_ns,
+                "baseline_drain_lag_ns": self.baseline_drain_lag_ns,
+            },
+        }
+
+    def verify(self) -> dict:
+        """Assert the loss/latency envelopes; returns the report."""
+        report = self.report()
+        stats = self.tracer.stats
+        if report["lost"] != 0:
+            raise AssertionError(
+                f"lost {report['lost']} accepted records "
+                f"(accepted={report['accepted']}, indexed={report['indexed']},"
+                f" spill backlog={stats.spill_pending})")
+        if report["indexed"] != report["accepted"]:
+            raise AssertionError(
+                f"replay incomplete: {report['indexed']} indexed of "
+                f"{report['accepted']} accepted")
+        if stats.spilled_records == 0:
+            raise AssertionError("outage never exercised the spill WAL")
+        if stats.replayed_records != stats.spilled_records:
+            raise AssertionError(
+                f"spill replay incomplete: {stats.replayed_records} of "
+                f"{stats.spilled_records} records")
+        if report["breaker"]["opened"] < 1 or report["breaker"]["closed"] < 1:
+            raise AssertionError(
+                f"breaker transitions not observed: {report['breaker']}")
+        if stats.breaker_state != "closed":
+            raise AssertionError(
+                f"breaker still {stats.breaker_state} after recovery")
+        if (self.baseline_app_done_ns is not None
+                and self.app_done_ns != self.baseline_app_done_ns):
+            raise AssertionError(
+                "backend outage leaked into the application: "
+                f"{self.app_done_ns} != baseline "
+                f"{self.baseline_app_done_ns}")
+        if self.baseline_drain_lag_ns is not None:
+            budget = (self.baseline_drain_lag_ns
+                      + DRAIN_LAG_FACTOR * self.plan.total_outage_ns
+                      + DRAIN_LAG_SLACK_NS)
+            if self.drain_lag_ns > budget:
+                raise AssertionError(
+                    f"drain lag {self.drain_lag_ns}ns exceeds envelope "
+                    f"{budget}ns (baseline {self.baseline_drain_lag_ns}ns "
+                    f"+ {DRAIN_LAG_FACTOR} x outage "
+                    f"{self.plan.total_outage_ns}ns)")
+        return report
+
+
+def _run_workload(scale: ResilienceScale, plan: FaultPlan,
+                  session_name: str) -> ResilienceCaseResult:
+    rocks = scale.rocksdb_scale()
+    kernel = build_kernel(rocks)
+    env = kernel.env
+
+    process = kernel.spawn_process("db_bench")
+    db = RocksDB(kernel, process, rocks.db_options())
+    bench = DBBench(kernel, db,
+                    client_threads=rocks.client_threads,
+                    key_count=rocks.key_count,
+                    value_size=rocks.value_size,
+                    read_fraction=rocks.read_fraction,
+                    seed=rocks.seed)
+
+    store = DocumentStore()
+    faulty = FaultyStore(store, plan, clock=lambda: env.now)
+    config = dataclasses.replace(scale.tracer_config(session_name),
+                                 pids=frozenset({process.pid}))
+    tracer = DIOTracer(env, kernel, faulty, config)
+    marks = {}
+
+    def main():
+        yield from db.open(bench.client_tasks[0])
+        yield from bench.load()
+        tracer.attach()
+        handle = bench.run(duration_ns=rocks.duration_ns)
+        yield from handle.wait()
+        db.close()
+        marks["app_done"] = env.now
+        yield from tracer.shutdown()
+        marks["pipeline_done"] = env.now
+
+    env.run(until=env.process(main()))
+    return ResilienceCaseResult(
+        tracer=tracer, store=store, faulty=faulty, plan=plan,
+        app_done_ns=marks["app_done"],
+        pipeline_done_ns=marks["pipeline_done"],
+        baseline_app_done_ns=None,
+        baseline_pipeline_done_ns=None)
+
+
+def run_resilience_case(scale: Optional[ResilienceScale] = None,
+                        session_name: str = "rocksdb-resilience",
+                        compare_baseline: bool = True
+                        ) -> ResilienceCaseResult:
+    """Trace RocksDB through the scripted outages (plus, optionally, a
+    fault-free twin run to pin the application-isolation envelope)."""
+    scale = scale or ResilienceScale()
+    result = _run_workload(scale, scale.fault_plan(), session_name)
+    if not compare_baseline:
+        return result
+    baseline = _run_workload(scale, FaultPlan(), session_name)
+    return result._replace(
+        baseline_app_done_ns=baseline.app_done_ns,
+        baseline_pipeline_done_ns=baseline.pipeline_done_ns)

@@ -48,6 +48,9 @@ STAGE_COUNTERS: dict[str, tuple[tuple[str, str], ...]] = {
     "shipper": (
         ("shipped", "dio_shipper_events_total"),
         ("retries", "dio_shipper_retries_total"),
+        ("attempts", "dio_consumer_bulk_attempts_total"),
+        ("spilled", "dio_spill_records_total"),
+        ("replayed", "dio_spill_replayed_records_total"),
     ),
     "store": (
         ("bulk_requests", "dio_store_bulk_requests_total"),
@@ -133,9 +136,22 @@ class PipelineHealth:
         return self.registry.value("dio_ring_pending_records")
 
     def retry_rate(self) -> float:
-        """Bulk-shipping retries per issued batch."""
+        """Failed bulk requests per *attempted* bulk request.
+
+        The denominator is attempts, not successful batches: under
+        adaptive batch shrinking the two diverge, and dividing by
+        batches understated retry pressure.
+        """
         return _ratio(self.registry.value("dio_shipper_retries_total"),
-                      self.registry.value("dio_consumer_batches_total"))
+                      self.registry.value("dio_consumer_bulk_attempts_total"))
+
+    def spill_backlog(self) -> float:
+        """Records in the dead-letter WAL awaiting replay."""
+        return self.registry.value("dio_spill_pending_records")
+
+    def breaker_state(self) -> float:
+        """Shipping circuit breaker: 0=closed, 1=half-open, 2=open."""
+        return self.registry.value("dio_breaker_state")
 
     def unresolved_ratio(self) -> float:
         """Correlator's fraction of tagged events without a path."""
@@ -149,6 +165,8 @@ class PipelineHealth:
         "dio_health_consumer_lag_records": "consumer_lag",
         "dio_health_retry_rate": "retry_rate",
         "dio_health_unresolved_ratio": "unresolved_ratio",
+        "dio_health_spill_backlog_records": "spill_backlog",
+        "dio_health_breaker_state": "breaker_state",
     }
 
     def bind_derived_gauges(self) -> None:

@@ -22,6 +22,9 @@ from repro.tracer.config import TracerConfig
 from repro.tracer.events import Event, estimate_record_size
 from repro.tracer.filters import KernelFilter
 from repro.tracer.enrichment import Enricher
+from repro.tracer.resilience import (AdaptiveBatcher, CircuitBreaker,
+                                     DecorrelatedJitterBackoff)
+from repro.tracer.spill import SpillSegment, SpillWAL
 from repro.tracer.tracer import DIOTracer, TracerStats
 from repro.tracer.replay import ReplayReport, TraceReplayer
 
@@ -31,6 +34,11 @@ __all__ = [
     "estimate_record_size",
     "KernelFilter",
     "Enricher",
+    "AdaptiveBatcher",
+    "CircuitBreaker",
+    "DecorrelatedJitterBackoff",
+    "SpillSegment",
+    "SpillWAL",
     "DIOTracer",
     "TracerStats",
     "ReplayReport",

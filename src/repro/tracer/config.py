@@ -54,10 +54,40 @@ class TracerConfig:
     ship_base_ns: int = 1_500_000
     #: Incremental cost per event in a bulk request (ns).
     ship_ns_per_event: int = 500
-    #: Bulk-request attempts before a backend failure is fatal.
+    #: Bulk-request attempts before a batch is spilled (or, with
+    #: ``spill_enabled=False``, the failure turns fatal).
     ship_max_retries: int = 5
-    #: Linear backoff between bulk retries (ns).
+    #: Base delay of the decorrelated-jitter retry backoff (ns).
     ship_retry_backoff_ns: int = 10_000_000
+
+    # -- resilience (backoff / breaker / backpressure / spill) ----------
+    #: Upper bound on any single backoff delay (ns).
+    backoff_cap_ns: int = 500_000_000
+    #: Seed of the backoff jitter RNG — same seed, same delays.
+    resilience_seed: int = 7
+    #: Consecutive bulk failures that trip the circuit breaker OPEN.
+    breaker_failure_threshold: int = 5
+    #: How long an OPEN breaker blocks before admitting a probe (ns).
+    breaker_recovery_ns: int = 200_000_000
+    #: Bound on events staged in user space awaiting shipment.  When
+    #: the bound is hit, backpressure propagates to the ring buffers.
+    max_inflight_events: int = 8192
+    #: What the consumer does when the staging bound is hit:
+    #: ``"block"`` stops draining (the ring buffers fill and apply
+    #: their own overflow policy); ``"drop"`` keeps draining but sheds
+    #: the overflow in user space (counted separately).
+    backpressure_policy: str = "block"
+    #: Floor of the adaptive batch size (it halves on failure and
+    #: doubles back on success, between this and ``batch_size``).
+    batch_min_size: int = 16
+    #: Spill batches that exhausted their retries to the dead-letter
+    #: WAL (replayed on recovery) instead of raising.
+    spill_enabled: bool = True
+    #: Cost of appending one record to the spill WAL (ns).
+    spill_write_ns_per_event: int = 200
+    #: Replay failures tolerated *during shutdown* before the consumer
+    #: gives up and leaves the remaining segments in the WAL.
+    spill_replay_failure_budget: int = 8
 
     # -- self-telemetry --------------------------------------------------
     #: Record pipeline spans / bind component metrics.  Counters that
@@ -94,6 +124,26 @@ class TracerConfig:
             raise ValueError(f"unknown ring policy {self.ring_policy!r}")
         if self.batch_size <= 0:
             raise ValueError("batch size must be positive")
+        if self.ship_retry_backoff_ns <= 0:
+            raise ValueError("retry backoff base must be positive")
+        if self.backoff_cap_ns < self.ship_retry_backoff_ns:
+            raise ValueError("backoff cap below its base delay")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker failure threshold must be >= 1")
+        if self.breaker_recovery_ns < 0:
+            raise ValueError("breaker recovery must be >= 0")
+        if self.max_inflight_events < 1:
+            raise ValueError("max in-flight events must be >= 1")
+        if self.backpressure_policy not in ("block", "drop"):
+            raise ValueError(
+                f"unknown backpressure policy {self.backpressure_policy!r};"
+                " pick 'block' or 'drop'")
+        if self.batch_min_size < 1:
+            raise ValueError("minimum batch size must be >= 1")
+        if self.spill_write_ns_per_event < 0:
+            raise ValueError("spill write cost must be >= 0")
+        if self.spill_replay_failure_budget < 0:
+            raise ValueError("spill replay failure budget must be >= 0")
 
     @property
     def enabled_syscalls(self) -> frozenset[str]:
@@ -118,6 +168,11 @@ class TracerConfig:
             [backend]
             index = "dio_trace"
             batch_size = 512
+
+            [resilience]
+            backpressure_policy = "drop"
+            breaker_failure_threshold = 5
+            spill_enabled = true
         """
         data = tomllib.loads(text)
         tracer = data.get("tracer", {})
@@ -148,4 +203,22 @@ class TracerConfig:
         telemetry = data.get("telemetry", {})
         if "enabled" in telemetry:
             kwargs["telemetry_enabled"] = bool(telemetry["enabled"])
+        resilience = data.get("resilience", {})
+        for key, cast in (("backoff_cap_ns", int),
+                          ("resilience_seed", int),
+                          ("breaker_failure_threshold", int),
+                          ("breaker_recovery_ns", int),
+                          ("max_inflight_events", int),
+                          ("backpressure_policy", str),
+                          ("batch_min_size", int),
+                          ("spill_enabled", bool),
+                          ("spill_write_ns_per_event", int),
+                          ("spill_replay_failure_budget", int)):
+            if key in resilience:
+                kwargs[key] = cast(resilience[key])
+        if "ship_max_retries" in resilience:
+            kwargs["ship_max_retries"] = int(resilience["ship_max_retries"])
+        if "ship_retry_backoff_ns" in resilience:
+            kwargs["ship_retry_backoff_ns"] = int(
+                resilience["ship_retry_backoff_ns"])
         return cls(**kwargs)

@@ -1,0 +1,118 @@
+"""Spill-to-WAL dead-letter path for the bulk shipper.
+
+When a batch exhausts its bulk retries, dropping it would silently
+lose records the ring buffer already *accepted* — corrupting exactly
+the diagnosis data the paper's case studies depend on.  Instead the
+consumer appends the batch to this write-ahead log (the moral
+equivalent of Recorder's buffered on-disk trace format, PAPERS.md)
+and replays it into the backend once the breaker lets requests
+through again.
+
+The WAL is an in-memory, append-only sequence of immutable
+*segments* (one per spilled batch); writing is charged to the
+simulated clock by the consumer (``spill_write_ns_per_event``), so
+spilling is cheap-but-not-free exactly like a local disk append.
+Replay is oldest-first and at-least-once-attempted / exactly-once-
+applied: a segment leaves the log only after the backend accepted
+it, and since a failed bulk request never partially indexes (see
+:mod:`repro.faults`), a record can neither be lost nor duplicated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple, Optional, Sequence
+
+
+class SpillSegment(NamedTuple):
+    """One spilled batch, immutable once written."""
+
+    seq: int
+    docs: tuple
+    spilled_at_ns: int
+    reason: str
+
+
+class SpillWAL:
+    """Append-only dead-letter log of failed bulk batches."""
+
+    def __init__(self) -> None:
+        self._segments: deque[SpillSegment] = deque()
+        self._next_seq = 0
+        #: Lifetime counters (exported as ``dio_spill_*``).
+        self.spilled_records_total = 0
+        self.spilled_batches_total = 0
+        self.replayed_records_total = 0
+        self.replayed_batches_total = 0
+
+    # ------------------------------------------------------------------
+    # Write side
+
+    def append(self, docs: Sequence[dict], now_ns: int,
+               reason: str = "retries-exhausted") -> SpillSegment:
+        """Persist one failed batch as a new tail segment."""
+        if not docs:
+            raise ValueError("refusing to spill an empty batch")
+        segment = SpillSegment(seq=self._next_seq, docs=tuple(docs),
+                               spilled_at_ns=now_ns, reason=reason)
+        self._next_seq += 1
+        self._segments.append(segment)
+        self.spilled_batches_total += 1
+        self.spilled_records_total += len(docs)
+        return segment
+
+    # ------------------------------------------------------------------
+    # Replay side
+
+    def peek(self) -> Optional[SpillSegment]:
+        """The oldest unreplayed segment, left in place."""
+        return self._segments[0] if self._segments else None
+
+    def pop(self) -> SpillSegment:
+        """Retire the oldest segment after the backend accepted it."""
+        if not self._segments:
+            raise IndexError("spill WAL is empty")
+        segment = self._segments.popleft()
+        self.replayed_batches_total += 1
+        self.replayed_records_total += len(segment.docs)
+        return segment
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def pending_batches(self) -> int:
+        """Segments awaiting replay."""
+        return len(self._segments)
+
+    @property
+    def pending_records(self) -> int:
+        """Records awaiting replay."""
+        return sum(len(segment.docs) for segment in self._segments)
+
+    def bind_telemetry(self, registry) -> None:
+        """Expose the WAL counters as ``dio_spill_*`` metrics."""
+        for name, help_text, reader in (
+            ("dio_spill_records_total",
+             "Records written to the spill WAL after exhausted retries.",
+             lambda: self.spilled_records_total),
+            ("dio_spill_batches_total",
+             "Batches written to the spill WAL.",
+             lambda: self.spilled_batches_total),
+            ("dio_spill_replayed_records_total",
+             "Spilled records successfully replayed into the backend.",
+             lambda: self.replayed_records_total),
+            ("dio_spill_replayed_batches_total",
+             "Spilled batches successfully replayed into the backend.",
+             lambda: self.replayed_batches_total),
+        ):
+            registry.counter(name, help_text).set_function(reader)
+        registry.gauge(
+            "dio_spill_pending_records",
+            "Records sitting in the spill WAL awaiting replay.",
+        ).set_function(lambda: self.pending_records)
+
+    def __repr__(self) -> str:
+        return (f"<SpillWAL pending={self.pending_records} "
+                f"spilled={self.spilled_records_total} "
+                f"replayed={self.replayed_records_total}>")

@@ -14,10 +14,22 @@ Flow of events (paper Fig. 1):
    bulk API.
 3. ``stop()`` detaches the programs; the consumer drains what remains
    and optionally runs the file-path correlation for the session.
+
+The shipping hop is hardened against backend failures (the
+reliability-critical component — see ``docs/RELIABILITY.md``): failed
+batches are *staged* in a bounded user-space queue and retried under
+decorrelated-jitter backoff; a circuit breaker stops hammering a dead
+backend; the batch size adapts (halving on failure, regrowing on
+success); batches that exhaust their retries spill to a dead-letter
+WAL (:mod:`repro.tracer.spill`) and are replayed on recovery, so no
+record the ring buffer accepted is ever lost.  When the staging queue
+is full, backpressure propagates to the ring buffers (``"block"``) or
+the overflow is shed in user space (``"drop"``).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.backend.correlation import CorrelationReport, FilePathCorrelator
@@ -34,6 +46,20 @@ from repro.tracer.config import TracerConfig
 from repro.tracer.enrichment import ENRICHMENT_COST_NS, Enricher
 from repro.tracer.events import Event, estimate_record_size
 from repro.tracer.filters import KernelFilter
+from repro.tracer.resilience import (AdaptiveBatcher, BREAKER_OPEN,
+                                     CircuitBreaker,
+                                     DecorrelatedJitterBackoff)
+from repro.tracer.spill import SpillWAL
+
+
+class _StagedBatch:
+    """One parsed batch awaiting shipment (with its attempt count)."""
+
+    __slots__ = ("docs", "attempts")
+
+    def __init__(self, docs: list):
+        self.docs = docs
+        self.attempts = 0
 
 
 class TracerStats:
@@ -85,15 +111,50 @@ class TracerStats:
         return int(self._tracer._m_retries.value)
 
     @property
+    def bulk_attempts(self) -> int:
+        """Bulk requests attempted (fresh, retried, and replayed)."""
+        return int(self._tracer._m_attempts.value)
+
+    @property
     def consumer_lag(self) -> int:
         """Records sitting in the ring buffers, not yet consumed."""
         return self._tracer.ring.pending_records()
 
     @property
+    def staged_records(self) -> int:
+        """Parsed events staged in user space awaiting shipment."""
+        return self._tracer._staged_events
+
+    @property
+    def spilled_records(self) -> int:
+        """Records written to the dead-letter WAL."""
+        return self._tracer._spill.spilled_records_total
+
+    @property
+    def replayed_records(self) -> int:
+        """Spilled records successfully replayed into the backend."""
+        return self._tracer._spill.replayed_records_total
+
+    @property
+    def spill_pending(self) -> int:
+        """Records sitting in the spill WAL awaiting replay."""
+        return self._tracer._spill.pending_records
+
+    @property
+    def breaker_state(self) -> str:
+        """Circuit-breaker state: closed, half-open, or open."""
+        return self._tracer._breaker.state
+
+    @property
     def retry_rate(self) -> float:
-        """Shipping retries per issued bulk request."""
-        batches = self.batches
-        return self.ship_retries / batches if batches else 0.0
+        """Failed bulk requests per *attempted* bulk request.
+
+        Dividing by successful batches (the old definition) understates
+        retry pressure once the batch size shrinks adaptively under
+        failures; attempts are the honest denominator.
+        """
+        attempts = self.bulk_attempts
+        return self.ship_retries / attempts if attempts else 0.0
 
     def as_dict(self) -> dict:
         """All counter properties as a plain dict (in definition order)."""
@@ -140,6 +201,67 @@ class DIOTracer:
         self._m_retries = registry.counter(
             "dio_shipper_retries_total",
             "Bulk requests retried after transient backend failures.")
+        self._m_attempts = registry.counter(
+            "dio_consumer_bulk_attempts_total",
+            "Bulk requests attempted against the backend "
+            "(fresh, retried, and replayed).")
+        self._m_shed = registry.counter(
+            "dio_consumer_shed_total",
+            "Events shed by user-space backpressure (policy 'drop').")
+
+        #: Resilience state of the shipping hop (see module docstring).
+        self._backoff = DecorrelatedJitterBackoff(
+            self.config.ship_retry_backoff_ns, self.config.backoff_cap_ns,
+            seed=self.config.resilience_seed)
+        self._breaker = CircuitBreaker(
+            self.config.breaker_failure_threshold,
+            self.config.breaker_recovery_ns)
+        self._batcher = AdaptiveBatcher(self.config.batch_min_size,
+                                        self.config.batch_size)
+        self._spill = SpillWAL()
+        self._staged: deque[_StagedBatch] = deque()
+        self._staged_events = 0
+        self._next_attempt_ns = 0
+        self._shutdown_replay_failures = 0
+        #: A FaultyStore exposes consume_penalty_ns and accepts the
+        #: nominal request cost (for slowdown faults); plain stores
+        #: keep the unchanged two-argument bulk API.
+        self._store_fault_aware = callable(
+            getattr(store, "consume_penalty_ns", None))
+
+        registry.counter(
+            "dio_consumer_backoff_waits_total",
+            "Backoff delays taken between bulk attempts.",
+        ).set_function(lambda: self._backoff.waits)
+        registry.counter(
+            "dio_consumer_backoff_ns_total",
+            "Total virtual nanoseconds spent in retry backoff.",
+        ).set_function(lambda: self._backoff.waited_ns_total)
+        registry.gauge(
+            "dio_consumer_staged_records",
+            "Parsed events staged in user space awaiting shipment.",
+        ).set_function(lambda: self._staged_events)
+        registry.gauge(
+            "dio_consumer_batch_size",
+            "Current adaptive bulk batch size.",
+        ).set_function(lambda: self._batcher.size)
+        registry.gauge(
+            "dio_breaker_state",
+            "Shipping circuit breaker: 0=closed, 1=half-open, 2=open.",
+        ).set_function(lambda: self._breaker.state_code)
+        registry.counter(
+            "dio_breaker_opened_total",
+            "Circuit-breaker transitions into OPEN.",
+        ).set_function(lambda: self._breaker.opened_total)
+        registry.counter(
+            "dio_breaker_half_open_total",
+            "Circuit-breaker transitions into HALF_OPEN (probes).",
+        ).set_function(lambda: self._breaker.half_open_total)
+        registry.counter(
+            "dio_breaker_closed_total",
+            "Circuit-breaker transitions back into CLOSED.",
+        ).set_function(lambda: self._breaker.closed_total)
+        self._spill.bind_telemetry(registry)
         if self.telemetry.enabled:
             self.ring.bind_telemetry(registry)
             self.filter.bind_telemetry(registry)
@@ -236,13 +358,15 @@ class DIOTracer:
     # ------------------------------------------------------------------
     # User space (consumer process)
 
-    def _take_batch(self) -> list:
-        """Round-robin drain of up to ``batch_size`` records."""
+    def _take_batch(self, limit: Optional[int] = None) -> list:
+        """Round-robin drain of up to ``limit`` records (batch size)."""
+        if limit is None:
+            limit = self.config.batch_size
         batch: list = []
         ncpus = self.ring.ncpus
         for step in range(ncpus):
             cpu = (self._consume_cursor + step) % ncpus
-            room = self.config.batch_size - len(batch)
+            room = limit - len(batch)
             if room <= 0:
                 break
             batch.extend(self.ring.consume(cpu, room))
@@ -265,44 +389,189 @@ class DIOTracer:
             session=self.config.session_name,
         )
 
+    def _bulk(self, docs: list, nominal_ns: int) -> None:
+        if self._store_fault_aware:
+            self.store.bulk(self.config.index, docs, nominal_ns=nominal_ns)
+        else:
+            self.store.bulk(self.config.index, docs)
+
+    def _on_ship_success(self) -> None:
+        self._breaker.record_success()
+        self._batcher.on_success()
+        self._backoff.reset()
+        self._next_attempt_ns = 0
+        self._shutdown_replay_failures = 0
+
+    def _store_penalty_ns(self) -> int:
+        """Slowdown surplus a FaultyStore wants charged to shipping."""
+        if self._store_fault_aware:
+            return int(self.store.consume_penalty_ns())
+        return 0
+
+    def _ship_staged_head(self):
+        """One bulk attempt of the oldest staged batch.
+
+        Success retires the batch; failure backs off, trips the
+        breaker/batcher, and — once ``ship_max_retries`` attempts are
+        spent — spills the batch to the dead-letter WAL (or re-raises
+        when spilling is disabled, the pre-resilience behaviour).
+        """
+        config = self.config
+        head = self._staged[0]
+        docs = head.docs
+        with self.telemetry.span("shipper.bulk"):
+            cost = (config.ship_base_ns
+                    + config.ship_ns_per_event * len(docs))
+            yield self.env.timeout(cost)
+            self._m_attempts.inc()
+            try:
+                self._bulk(docs, cost)
+            except Exception as exc:
+                # Timeout faults burn their hang before we may react.
+                hang = getattr(exc, "cost_ns", 0)
+                if hang:
+                    yield self.env.timeout(hang)
+                now = self.env.now
+                self._m_retries.inc()
+                head.attempts += 1
+                self._breaker.record_failure(now)
+                self._batcher.on_failure()
+                self._next_attempt_ns = now + self._backoff.next_delay_ns()
+                if head.attempts >= config.ship_max_retries:
+                    if not config.spill_enabled:
+                        raise
+                    write_ns = config.spill_write_ns_per_event * len(docs)
+                    if write_ns:
+                        yield self.env.timeout(write_ns)
+                    self._spill.append(docs, self.env.now)
+                    self._staged.popleft()
+                    self._staged_events -= len(docs)
+                return
+        self._staged.popleft()
+        self._staged_events -= len(docs)
+        self._m_shipped.inc(len(docs))
+        self._m_batches.inc()
+        self._on_ship_success()
+        penalty = self._store_penalty_ns()
+        if penalty:
+            yield self.env.timeout(penalty)
+
+    def _replay_spill_head(self):
+        """One bulk attempt of the oldest spilled segment."""
+        config = self.config
+        segment = self._spill.peek()
+        docs = list(segment.docs)
+        with self.telemetry.span("shipper.replay"):
+            cost = (config.ship_base_ns
+                    + config.ship_ns_per_event * len(docs))
+            yield self.env.timeout(cost)
+            self._m_attempts.inc()
+            try:
+                self._bulk(docs, cost)
+            except Exception as exc:
+                hang = getattr(exc, "cost_ns", 0)
+                if hang:
+                    yield self.env.timeout(hang)
+                now = self.env.now
+                self._m_retries.inc()
+                self._breaker.record_failure(now)
+                self._batcher.on_failure()
+                if not self._running:
+                    self._shutdown_replay_failures += 1
+                self._next_attempt_ns = now + self._backoff.next_delay_ns()
+                return
+        self._spill.pop()
+        self._m_shipped.inc(len(docs))
+        self._m_batches.inc()
+        self._on_ship_success()
+        penalty = self._store_penalty_ns()
+        if penalty:
+            yield self.env.timeout(penalty)
+
+    def _drain_once(self, inline_ship: bool):
+        """Take one batch from the ring into the pipeline.
+
+        Returns whether anything was taken.  With ``inline_ship`` (the
+        healthy path) the batch is shipped immediately, preserving the
+        take→parse→ship cadence; otherwise it is only staged, so the
+        ring keeps draining while the backend is down.  The staging
+        bound applies backpressure per ``backpressure_policy``.
+        """
+        config = self.config
+        room = config.max_inflight_events - self._staged_events
+        limit = self._batcher.size
+        if room <= 0 and config.backpressure_policy == "block":
+            return False
+        if config.backpressure_policy == "block":
+            limit = min(limit, room)
+        batch = self._take_batch(limit)
+        if not batch:
+            return False
+        if config.backpressure_policy == "drop" and len(batch) > room:
+            keep = max(room, 0)
+            self._m_shed.inc(len(batch) - keep)
+            batch = batch[:keep]
+            if not batch:
+                return True
+        with self.telemetry.span("consumer.batch"):
+            # Parse raw records into JSON events (user-space CPU).
+            with self.telemetry.span("consumer.parse"):
+                yield self.env.timeout(
+                    config.parse_ns_per_event * len(batch))
+                events = [self._parse(record) for record in batch]
+            self._m_parsed.inc(len(events))
+            self._staged.append(
+                _StagedBatch([event.to_doc() for event in events]))
+            self._staged_events += len(events)
+            if inline_ship:
+                now = self.env.now
+                if self._breaker.allows(now) and now >= self._next_attempt_ns:
+                    yield from self._ship_staged_head()
+        return True
+
+    def _wait_ns(self, now: int) -> int:
+        """Sleep until the next actionable instant (poll at most)."""
+        wait = self.config.poll_interval_ns
+        if self._next_attempt_ns > now:
+            wait = min(wait, self._next_attempt_ns - now)
+        if (self._breaker.state == BREAKER_OPEN
+                and self._breaker.retry_at_ns() > now):
+            wait = min(wait, self._breaker.retry_at_ns() - now)
+        return max(1, wait)
+
     def _consume_loop(self):
         config = self.config
-        telemetry = self.telemetry
         while True:
-            batch = self._take_batch()
-            if not batch:
+            now = self.env.now
+            # 1) Retry staged (failed) batches once the backend may be
+            #    tried again; keep draining the ring in the meantime.
+            if self._staged:
+                if self._breaker.allows(now) and now >= self._next_attempt_ns:
+                    yield from self._ship_staged_head()
+                elif not (yield from self._drain_once(inline_ship=False)):
+                    yield self.env.timeout(self._wait_ns(now))
+                continue
+            # 2) Replay the dead-letter WAL (recovery path).  During
+            #    shutdown a bounded failure budget keeps a permanently
+            #    dead backend from wedging the drain: leftover segments
+            #    stay in the WAL, counted, never silently dropped.
+            if self._spill.pending_records:
+                if (not self._running
+                        and self._shutdown_replay_failures
+                        >= config.spill_replay_failure_budget):
+                    break
+                if self._breaker.allows(now) and now >= self._next_attempt_ns:
+                    yield from self._replay_spill_head()
+                elif not (yield from self._drain_once(inline_ship=False)):
+                    yield self.env.timeout(self._wait_ns(now))
+                continue
+            # 3) Healthy path: take → parse → ship, exactly the
+            #    pre-resilience cadence and span structure.  Transient
+            #    backend failures land the batch in the staging queue;
+            #    the events are already out of the ring buffer, so
+            #    nothing is lost — the application is unaffected
+            #    either way (asynchronous path).
+            if not (yield from self._drain_once(inline_ship=True)):
                 if not self._running:
                     break
                 yield self.env.timeout(config.poll_interval_ns)
-                continue
-            with telemetry.span("consumer.batch"):
-                # Parse raw records into JSON events (user-space CPU).
-                with telemetry.span("consumer.parse"):
-                    yield self.env.timeout(
-                        config.parse_ns_per_event * len(batch))
-                    events = [self._parse(record) for record in batch]
-                self._m_parsed.inc(len(events))
-                # Ship a bucket of events with one bulk request.
-                # Transient backend failures are retried with backoff;
-                # the events are already out of the ring buffer, so
-                # nothing is lost — the application is unaffected
-                # either way (asynchronous path).
-                docs = [event.to_doc() for event in events]
-                attempt = 0
-                with telemetry.span("shipper.bulk"):
-                    while True:
-                        yield self.env.timeout(
-                            config.ship_base_ns
-                            + config.ship_ns_per_event * len(events))
-                        try:
-                            self.store.bulk(config.index, docs)
-                            break
-                        except Exception:
-                            attempt += 1
-                            self._m_retries.inc()
-                            if attempt >= config.ship_max_retries:
-                                raise
-                            yield self.env.timeout(
-                                config.ship_retry_backoff_ns * attempt)
-                self._m_shipped.inc(len(events))
-                self._m_batches.inc()

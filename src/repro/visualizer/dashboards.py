@@ -65,14 +65,23 @@ class SelfMonitoringDashboard:
         return render_table(["stage", "counters", "p50", "p95", "p99"],
                             rows, max_col_width=72)
 
+    #: Breaker state codes back to names for the derived table.
+    _BREAKER_NAMES = {0: "closed", 1: "half-open", 2: "open"}
+
     def derived_table(self) -> str:
-        """The derived drop-ratio / lag / retry-rate gauges."""
+        """The derived drop-ratio / lag / retry-rate / spill gauges."""
         derived = self.telemetry.health_report().derived
+        breaker = self._BREAKER_NAMES.get(
+            int(derived.get("breaker_state", 0)), "?")
         rows = [
             ["drop ratio", f"{derived['drop_ratio'] * 100:.2f} %"],
             ["consumer lag", f"{derived['consumer_lag']:.0f} records"],
-            ["retry rate", f"{derived['retry_rate']:.2f} retries/batch"],
+            ["retry rate",
+             f"{derived['retry_rate'] * 100:.2f} % of bulk attempts"],
             ["unresolved ratio", f"{derived['unresolved_ratio'] * 100:.2f} %"],
+            ["spill backlog",
+             f"{derived.get('spill_backlog', 0):.0f} records"],
+            ["breaker state", breaker],
         ]
         return render_table(["gauge", "value"], rows)
 

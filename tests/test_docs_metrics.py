@@ -1,0 +1,41 @@
+"""docs/METRICS.md is generated — fail when it drifts from the code."""
+
+import pathlib
+
+from repro.telemetry.reference import (build_reference_registry,
+                                       metrics_reference_markdown)
+
+DOCS = pathlib.Path(__file__).resolve().parents[1] / "docs" / "METRICS.md"
+
+
+class TestMetricsReference:
+    def test_committed_document_matches_registry(self):
+        """Adding, removing, or re-describing a metric must come with
+        a regenerated docs/METRICS.md (see the file header)."""
+        expected = metrics_reference_markdown(build_reference_registry())
+        assert DOCS.read_text(encoding="utf-8") == expected
+
+    def test_reference_registry_covers_core_subsystems(self):
+        registry = build_reference_registry()
+        names = {family.name for family in registry.collect()}
+        for required in (
+            "dio_filter_accepted_total",
+            "dio_ring_produced_total",
+            "dio_consumer_bulk_attempts_total",
+            "dio_shipper_events_total",
+            "dio_breaker_state",
+            "dio_spill_pending_records",
+            "dio_faults_injected_total",
+            "dio_store_documents_indexed_total",
+            "dio_correlator_tags_resolved_total",
+            "dio_health_retry_rate",
+        ):
+            assert required in names, f"{required} missing from reference run"
+
+    def test_every_metric_has_help_text(self):
+        for family in build_reference_registry().collect():
+            assert family.help.strip(), f"{family.name} has no help text"
+
+    def test_generation_is_deterministic(self):
+        assert (metrics_reference_markdown(build_reference_registry())
+                == metrics_reference_markdown(build_reference_registry()))

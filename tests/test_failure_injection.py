@@ -52,12 +52,15 @@ class TestFlakyBackend:
         assert tracer.stats.shipped == 52
         assert store.count("dio_trace") == 52
 
-    def test_persistent_failure_eventually_fatal(self):
+    def test_persistent_failure_eventually_fatal_without_spill(self):
+        """With the dead-letter WAL disabled, exhausted retries keep
+        the pre-resilience contract: the failure propagates."""
         env = Environment()
         kernel = Kernel(env, ncpus=2)
         store = FlakyStore(failures=10_000)
         config = TracerConfig(ship_max_retries=3,
-                              ship_retry_backoff_ns=1000)
+                              ship_retry_backoff_ns=1000,
+                              spill_enabled=False)
         tracer = DIOTracer(env, kernel, store, config)
         task = kernel.spawn_process("app").threads[0]
         tracer.attach()
@@ -68,6 +71,74 @@ class TestFlakyBackend:
 
         with pytest.raises(ConnectionError):
             env.run(until=env.process(main()))
+
+    def test_persistent_failure_spills_instead_of_losing(self):
+        """With spilling on (the default), a permanently dead backend
+        never crashes the consumer or loses accepted records: every
+        batch that exhausts its retries lands in the dead-letter WAL,
+        and shutdown gives up replaying after a bounded failure
+        budget, leaving the records counted in the WAL."""
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = FlakyStore(failures=10_000)
+        config = TracerConfig(ship_max_retries=3,
+                              ship_retry_backoff_ns=1000,
+                              breaker_recovery_ns=100_000,
+                              spill_replay_failure_budget=4)
+        tracer = DIOTracer(env, kernel, store, config)
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def main():
+            yield from writer_workload(kernel, task, writes=5)
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))   # must not raise
+        stats = tracer.stats
+        assert stats.shipped == 0
+        assert stats.spill_pending == stats.produced == 7
+        assert stats.spilled_records == 7
+        assert stats.replayed_records == 0
+        assert tracer.ring.pending_records() == 0
+        assert stats.staged_records == 0
+        # The breaker tripped and is still open against the dead
+        # backend; retry pressure is visible per *attempt*.
+        assert stats.breaker_state == "open"
+        assert stats.bulk_attempts == stats.ship_retries > 0
+        assert stats.retry_rate == 1.0
+
+    def test_breaker_trips_and_recovers_with_replay(self):
+        """A longer outage trips the breaker OPEN; once the backend
+        recovers, spilled batches are replayed — zero loss, zero
+        duplicates."""
+        env = Environment()
+        kernel = Kernel(env, ncpus=2)
+        store = FlakyStore(failures=12)
+        config = TracerConfig(session_name="breaker",
+                              ship_max_retries=2,
+                              ship_retry_backoff_ns=1000,
+                              backoff_cap_ns=100_000,
+                              breaker_failure_threshold=4,
+                              breaker_recovery_ns=50_000,
+                              spill_replay_failure_budget=100)
+        tracer = DIOTracer(env, kernel, store, config)
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def main():
+            yield from writer_workload(kernel, task)
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(main()))
+        registry = tracer.telemetry.registry
+        assert registry.value("dio_breaker_opened_total") >= 1
+        assert registry.value("dio_breaker_closed_total") >= 1
+        assert tracer.stats.breaker_state == "closed"
+        assert tracer.stats.spilled_records > 0
+        assert tracer.stats.replayed_records == tracer.stats.spilled_records
+        assert tracer.stats.spill_pending == 0
+        # Zero loss, zero duplicates.
+        assert store.count("dio_trace") == tracer.stats.produced == 52
 
     def test_application_unaffected_by_backend_outage(self):
         """The async pipeline: app completion time must not depend on
