@@ -19,16 +19,20 @@ package is an in-process substitute exposing the same operations:
   and property-test oracles.
 - :mod:`repro.backend.aggregations` — ``terms``, ``histogram``,
   ``date_histogram``, ``percentiles``, ``stats`` (and friends), with
-  nested sub-aggregations.
+  nested sub-aggregations (the dict-walking reference path).
+- :mod:`repro.backend.columns` — typed per-field columns (dictionary
+  codes + numeric arrays) and the aggregation kernels the store pushes
+  ``aggs`` requests down to, bypassing ``_source`` materialisation.
 - :mod:`repro.backend.correlation` — the paper's custom file-path
   correlation algorithm, translating file tags into accessed paths.
 """
 
 from repro.backend.store import DocumentStore, Index, StoreError
+from repro.backend.columns import Column, ColumnSet, ColumnarUnsupported
 from repro.backend.query import compile_query, QueryError
 from repro.backend.planner import QueryPlan, plan_query
 from repro.backend.indexes import FieldIndex
-from repro.backend.naive import legacy_correlate, naive_scan
+from repro.backend.naive import legacy_correlate, naive_aggregate, naive_scan
 from repro.backend.aggregations import run_aggregations, AggregationError
 from repro.backend.correlation import FilePathCorrelator, CorrelationReport
 from repro.backend.persistence import (SessionError, delete_session,
@@ -39,12 +43,16 @@ __all__ = [
     "DocumentStore",
     "Index",
     "StoreError",
+    "Column",
+    "ColumnSet",
+    "ColumnarUnsupported",
     "compile_query",
     "QueryError",
     "QueryPlan",
     "plan_query",
     "FieldIndex",
     "legacy_correlate",
+    "naive_aggregate",
     "naive_scan",
     "run_aggregations",
     "AggregationError",

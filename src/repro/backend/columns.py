@@ -1,0 +1,649 @@
+"""Typed per-field columns and the aggregation kernels that run on them.
+
+PR 2 made *filtering* fast; this module makes *aggregating* fast.  The
+legacy :func:`repro.backend.aggregations.run_aggregations` walks full
+``_source`` dicts — one ``get_field`` per document per aggregation,
+plus a per-bucket list of source dicts re-walked for every nested
+sub-aggregation.  The columnar layer replaces that with flat typed
+arrays addressed by *row number*:
+
+- every live document owns one row (assigned in insertion order, so
+  row order equals the store's insertion-rank order);
+- each aggregated field gets one :class:`Column` holding
+  - **dictionary codes** (``array('i')``; ``-1`` = missing) with a code
+    table mapping codes back to the original values — group-by on
+    small integers instead of hashing arbitrary values, and
+  - a **typed numeric array** (``array('q')`` for pure-int fields,
+    ``array('d')`` for pure-float fields, a plain list when mixed) with
+    a validity bitmap — metric kernels read machine values instead of
+    walking dicts;
+- :class:`ColumnSet` maintains the columns incrementally on put /
+  delete / in-place refresh, mirroring the delta-aware ``FieldIndex``
+  lifecycle from PR 2: columns are built lazily the first time an
+  aggregation touches the field, then kept up to date.
+
+The kernels are written to be *byte-identical* with the legacy
+dict-walking path: they iterate rows in insertion order, perform the
+same arithmetic in the same order (float sums are order-sensitive),
+key buckets exactly the way a dict over the original values would, and
+raise :class:`ColumnarUnsupported` for any shape where fidelity cannot
+be guaranteed (value-equal keys of different types, unhashable values,
+NaN-ish cardinality inputs) so the store falls back to the legacy
+oracle.  ``supports()`` makes that decision *before* any work is done.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections import Counter
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.backend.aggregations import percentile
+from repro.backend.query import get_field
+
+#: int64 bounds for the ``array('q')`` fast path.
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: Aggregation kinds the kernels implement.
+BUCKET_KINDS = ("terms", "histogram", "date_histogram")
+METRIC_KINDS = ("percentiles", "stats", "avg", "min", "max", "sum",
+                "value_count", "cardinality")
+
+
+class ColumnarUnsupported(Exception):
+    """The columnar engine cannot guarantee fidelity for this request.
+
+    Raised (or signalled via :meth:`ColumnSet.supports`) to route the
+    request to the legacy dict-walking path, which is always correct.
+    """
+
+
+class Column:
+    """One field's typed storage across all rows.
+
+    Two representations are maintained together:
+
+    - ``codes``/``table`` — dictionary encoding over every *indexable*
+      value (str, int, float, bool, tuple).  Codes key on
+      ``(type, value)`` so ``1``, ``1.0`` and ``True`` get distinct
+      codes even though they are ``==``; when such value-equal codes
+      coexist the ``collisions`` flag is raised and terms pushdown is
+      refused (a dict over the raw values would merge them under the
+      first-seen key, which code-level grouping cannot reproduce).
+    - ``nums``/``numeric`` — the numeric fast path.  ``num_kind``
+      upgrades ``None -> 'q' -> 'obj'`` / ``None -> 'd' -> 'obj'`` as
+      values arrive; the typed arrays are only kept while they are
+      *lossless* (pure int64 / pure float), so gathered values are the
+      original Python objects in the int and float cases too.
+    """
+
+    __slots__ = ("field", "codes", "table", "_code_of", "_eq_code",
+                 "collisions", "unencodable", "nonnull",
+                 "num_kind", "nums", "numeric", "numeric_count", "simple",
+                 "num_sorted", "_hi_row", "_num_hi",
+                 "_codes_view", "_nums_view")
+
+    def __init__(self, field: str):
+        self.field = field
+        self.codes = array("i")
+        self.table: list = []
+        self._code_of: dict = {}
+        #: value -> first code, for cross-type collision detection.
+        self._eq_code: dict = {}
+        self.collisions = False
+        #: rows holding values the code table cannot key (list/dict).
+        self.unencodable = 0
+        self.nonnull = bytearray()
+        self.num_kind: Optional[str] = None   # 'q' | 'd' | 'obj'
+        self.nums: Any = None
+        self.numeric = bytearray()
+        self.numeric_count = 0
+        #: True while numeric values arrive in non-decreasing row order
+        #: (trace timestamps do) — unlocks the bisect bucketiser, which
+        #: finds histogram bucket boundaries in O(buckets·log n) and
+        #: hands nested aggs contiguous ``range`` partitions.
+        self.num_sorted = True
+        self._hi_row = -1
+        self._num_hi: Any = None
+        #: True while every value is str/int/bool — the types whose
+        #: ``repr`` distinguishes exactly what distinct codes do, which
+        #: is what the cardinality kernel needs.
+        self.simple = True
+        # Cached ``tolist()`` twins of codes/nums: indexing an ``array``
+        # boxes a fresh object per access, a list hands back existing
+        # refs, so kernels read these.  Dropped on any mutation.
+        self._codes_view: Optional[list] = None
+        self._nums_view: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def append(self, value: Any) -> None:
+        """Add one row at the end holding ``value``."""
+        self.codes.append(-1)
+        self.nonnull.append(0)
+        self.numeric.append(0)
+        if self.nums is not None:
+            self.nums.append(0)
+        self.set(len(self.codes) - 1, value)
+
+    def grow_to(self, n_rows: int) -> None:
+        """Extend with missing rows up to ``n_rows`` (bulk build)."""
+        missing = n_rows - len(self.codes)
+        if missing <= 0:
+            return
+        self.codes.extend([-1] * missing)
+        self.nonnull.extend(b"\x00" * missing)
+        self.numeric.extend(b"\x00" * missing)
+        if self.nums is not None:
+            self.nums.extend([0] * missing)
+        self._codes_view = self._nums_view = None
+
+    def set(self, row: int, value: Any) -> None:
+        """(Re)assign one row's value."""
+        self.nonnull[row] = 0 if value is None else 1
+        self._set_code(row, value)
+        self._set_numeric(row, value)
+        self._codes_view = self._nums_view = None
+
+    def clear(self, row: int) -> None:
+        """Tombstone one row (document deleted)."""
+        if self.codes[row] == -2:
+            self.unencodable -= 1
+        self.codes[row] = -1
+        self.nonnull[row] = 0
+        if self.numeric[row]:
+            self.numeric_count -= 1
+        self.numeric[row] = 0
+        self._codes_view = self._nums_view = None
+
+    def _set_code(self, row: int, value: Any) -> None:
+        old = self.codes[row]
+        if old == -2:
+            self.unencodable -= 1
+        if value is None:
+            self.codes[row] = -1
+            return
+        try:
+            key = (value.__class__, value)
+            code = self._code_of.get(key)
+            if code is None:
+                code = len(self.table)
+                self._code_of[key] = code
+                self.table.append(value)
+                first = self._eq_code.get(value)
+                if first is None:
+                    self._eq_code[value] = code
+                else:
+                    # 1 vs 1.0 vs True: a dict over raw values would
+                    # merge these; code-level grouping cannot.
+                    self.collisions = True
+            elif (isinstance(value, float) and value == 0.0
+                    and repr(value) != repr(self.table[code])):
+                self.collisions = True    # -0.0 sharing 0.0's code
+        except TypeError:                 # unhashable (list/dict)
+            self.codes[row] = -2
+            self.unencodable += 1
+            self.simple = False
+            return
+        self.codes[row] = code
+        # bool is an int subclass, so str/int/bool stay "simple";
+        # floats and tuples (repr-ambiguous for cardinality) do not.
+        if isinstance(value, float) or not isinstance(value, (str, int)):
+            self.simple = False
+
+    def _set_numeric(self, row: int, value: Any) -> None:
+        if (not isinstance(value, (int, float))) or isinstance(value, bool):
+            if self.numeric[row]:
+                self.numeric_count -= 1
+            self.numeric[row] = 0
+            if self.nums is not None:
+                self.nums[row] = 0
+            return
+        kind = self.num_kind
+        if kind is None:
+            kind = "d" if isinstance(value, float) else "q"
+            try:
+                self.nums = array(kind, [0] * len(self.codes))
+            except OverflowError:         # cannot happen for zeros
+                pass
+            self.num_kind = kind
+        if kind == "q" and (isinstance(value, float)
+                            or not _INT64_MIN <= value <= _INT64_MAX):
+            self._promote_to_objects()
+            kind = "obj"
+        elif kind == "d" and not isinstance(value, float):
+            self._promote_to_objects()
+            kind = "obj"
+        if self.num_sorted:
+            hi = self._num_hi
+            # ``value != value`` spots NaN; a rewrite below the frontier
+            # or a decrease conservatively drops the sorted flag.
+            if (row < self._hi_row or value != value
+                    or (hi is not None and value < hi)):
+                self.num_sorted = False
+            else:
+                self._hi_row = row
+                self._num_hi = value
+        self.nums[row] = value
+        if not self.numeric[row]:
+            self.numeric_count += 1
+        self.numeric[row] = 1
+
+    def _promote_to_objects(self) -> None:
+        """Lossless downgrade of the typed array to a Python list.
+
+        ``array('q')`` holds ints exactly and ``'d'`` only ever holds
+        values that arrived as floats, so ``list()`` round-trips the
+        originals.
+        """
+        self.nums = list(self.nums)
+        self.num_kind = "obj"
+        self._nums_view = None
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def code_list(self) -> list:
+        """Boxed twin of :attr:`codes`; cached until the next mutation."""
+        view = self._codes_view
+        if view is None:
+            view = self._codes_view = self.codes.tolist()
+        return view
+
+    def num_list(self) -> Optional[list]:
+        """Boxed twin of :attr:`nums`; cached until the next mutation."""
+        view = self._nums_view
+        if view is None:
+            nums = self.nums
+            if nums is None:
+                return None
+            view = nums.tolist() if isinstance(nums, array) else nums
+            self._nums_view = view
+        return view
+
+    def gather_numeric(self, rows: Sequence[int]) -> list:
+        """Original numeric values over ``rows``, in row order.
+
+        Exactly what ``aggregations._numeric_values`` extracts from the
+        source dicts (ints/floats, bools excluded, missing skipped).
+        The result may alias column storage — callers must not mutate.
+        """
+        if self.num_kind is None:
+            return []
+        nums = self.num_list()
+        if self.numeric_count == len(self.codes):
+            # Dense column: every row is numeric, no per-row filtering.
+            if type(rows) is range and rows.step == 1:
+                if len(rows) == len(self.codes):
+                    return nums
+                return nums[rows.start:rows.stop]
+            return list(map(nums.__getitem__, rows))
+        numeric = self.numeric
+        return [nums[row] for row in rows if numeric[row]]
+
+    def __repr__(self) -> str:
+        return (f"<Column {self.field!r} rows={len(self.codes)} "
+                f"distinct={len(self.table)} num_kind={self.num_kind}>")
+
+
+class ColumnSet:
+    """All columns of one index plus the doc-id ↔ row mapping.
+
+    The row mapping is always maintained (cheap: one dict entry and a
+    list append per new document); per-field columns are built lazily
+    on first use — mirroring ``Index.ensure_indexed`` — and updated
+    incrementally afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._row_of: dict[str, int] = {}
+        self._doc_ids: list[str] = []
+        self._alive = bytearray()
+        self._dead = 0
+        self._columns: dict[str, Column] = {}
+
+    def __len__(self) -> int:
+        return len(self._doc_ids) - self._dead
+
+    @property
+    def row_of(self) -> dict[str, int]:
+        return self._row_of
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called from Index.put / delete / refresh_many)
+
+    def note_put(self, doc_id: str, source: dict) -> None:
+        row = self._row_of.get(doc_id)
+        if row is None:
+            self._row_of[doc_id] = len(self._doc_ids)
+            self._doc_ids.append(doc_id)
+            self._alive.append(1)
+            for field, column in self._columns.items():
+                column.append(get_field(source, field))
+        else:
+            for field, column in self._columns.items():
+                column.set(row, get_field(source, field))
+
+    def note_delete(self, doc_id: str) -> None:
+        row = self._row_of.pop(doc_id, None)
+        if row is None:
+            return
+        self._alive[row] = 0
+        self._dead += 1
+        for column in self._columns.values():
+            column.clear(row)
+
+    def note_refresh(self, doc_id: str, source: dict,
+                     fields: Optional[Iterable[str]]) -> None:
+        """Re-read column values after an in-place source mutation."""
+        row = self._row_of.get(doc_id)
+        if row is None:
+            return
+        for field, column in self._columns.items():
+            if fields is not None and not any(
+                    field == changed or field.startswith(changed + ".")
+                    for changed in fields):
+                continue
+            column.set(row, get_field(source, field))
+
+    def ensure_column(self, field: str, docs: dict[str, dict]) -> Column:
+        """Build (or fetch) the column for ``field`` from ``docs``."""
+        column = self._columns.get(field)
+        if column is None:
+            column = Column(field)
+            column.grow_to(len(self._doc_ids))
+            row_of = self._row_of
+            for doc_id, source in docs.items():
+                column.set(row_of[doc_id], get_field(source, field))
+            self._columns[field] = column
+        return column
+
+    def all_rows(self) -> Sequence[int]:
+        """Every live row, ascending (= insertion order)."""
+        if self._dead == 0:
+            return range(len(self._doc_ids))
+        alive = self._alive
+        return [row for row in range(len(self._doc_ids)) if alive[row]]
+
+    def rows_for_ids(self, doc_ids: Iterable[str]) -> list[int]:
+        """Rows for a planner candidate set, sorted into row order."""
+        row_of = self._row_of
+        return sorted(row_of[doc_id] for doc_id in doc_ids)
+
+    # ------------------------------------------------------------------
+    # Pushdown decision
+
+    def supports(self, aggs: Any, docs: dict[str, dict]) -> bool:
+        """True when every aggregation in ``aggs`` can run columnar.
+
+        Conservative and exception-safe: any doubt — malformed spec,
+        unknown kind, unencodable values, value-equal code collisions,
+        non-repr-safe cardinality input — answers ``False`` and the
+        caller uses the legacy path (which also reproduces the legacy
+        error behaviour for malformed requests).
+        """
+        try:
+            return self._supports(aggs, docs)
+        except Exception:
+            return False
+
+    def _supports(self, aggs: Any, docs: dict[str, dict]) -> bool:
+        if not isinstance(aggs, dict) or not aggs:
+            return False
+        for name, spec in aggs.items():
+            if not isinstance(spec, dict):
+                return False
+            nested = spec.get("aggs") or spec.get("aggregations")
+            kinds = [k for k in spec if k not in ("aggs", "aggregations")]
+            if len(kinds) != 1:
+                return False
+            kind = kinds[0]
+            body = spec[kind]
+            if not isinstance(body, dict):
+                return False
+            field = body.get("field")
+            if not isinstance(field, str) or not field:
+                return False
+            if kind in BUCKET_KINDS:
+                column = self.ensure_column(field, docs)
+                if kind == "terms":
+                    if column.unencodable or column.collisions:
+                        return False
+                    size = body.get("size", 10)
+                    if not isinstance(size, int) or isinstance(size, bool):
+                        return False
+                else:
+                    interval = (body.get("interval")
+                                or body.get("fixed_interval"))
+                    if not isinstance(interval, (int, float)) \
+                            or isinstance(interval, bool) or interval <= 0:
+                        return False
+                    if column.num_kind == "obj":
+                        # Mixed int/float values can produce int vs
+                        # float bucket members whose legacy handling
+                        # we reproduce anyway; NaN/inf keys cannot be
+                        # pre-checked cheaply, so stay on this path
+                        # only for pure typed columns.
+                        return False
+                if nested is not None and not self._supports(nested, docs):
+                    return False
+            elif kind in METRIC_KINDS:
+                if nested:
+                    return False
+                column = self.ensure_column(field, docs)
+                if kind == "cardinality" and (
+                        not column.simple or column.unencodable):
+                    return False
+                if kind == "percentiles":
+                    percents = body.get("percents",
+                                        [1, 5, 25, 50, 75, 95, 99])
+                    if not isinstance(percents, (list, tuple)):
+                        return False
+            else:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, aggs: dict, rows: Sequence[int]) -> dict:
+        """Evaluate ``aggs`` over ``rows`` — columnar twin of
+        :func:`repro.backend.aggregations.run_aggregations`.
+
+        ``rows`` must be ascending (insertion order); callers obtain it
+        from :meth:`all_rows` / :meth:`rows_for_ids` or a per-bucket
+        partition.  Assumes :meth:`supports` answered ``True``.
+        """
+        results: dict[str, Any] = {}
+        for name, spec in aggs.items():
+            nested = spec.get("aggs") or spec.get("aggregations")
+            kind = next(k for k in spec if k not in ("aggs", "aggregations"))
+            body = spec[kind]
+            column = self._columns[body["field"]]
+            if kind == "terms":
+                results[name] = self._terms(column, body, rows, nested)
+            elif kind in ("histogram", "date_histogram"):
+                results[name] = self._histogram(column, body, rows, nested)
+            else:
+                results[name] = self._metric(kind, column, body, rows)
+        return results
+
+    def _terms(self, column: Column, body: dict, rows: Sequence[int],
+               nested: Optional[dict]) -> dict:
+        codes = column.code_list()
+        table = column.table
+        contiguous = type(rows) is range and rows.step == 1
+        if nested:
+            partitions: dict[int, list[int]] = {}
+            get_part = partitions.get
+            if contiguous:
+                for row, code in enumerate(codes[rows.start:rows.stop],
+                                           rows.start):
+                    if code >= 0:
+                        part = get_part(code)
+                        if part is None:
+                            partitions[code] = [row]
+                        else:
+                            part.append(row)
+            else:
+                for row in rows:
+                    code = codes[row]
+                    if code >= 0:
+                        part = get_part(code)
+                        if part is None:
+                            partitions[code] = [row]
+                        else:
+                            part.append(row)
+            counted = [(code, len(part)) for code, part in partitions.items()]
+        else:
+            # C-level count; popping the missing/unencodable sentinels
+            # afterwards leaves first-seen order for the valid codes.
+            if contiguous:
+                counts = Counter(codes[rows.start:rows.stop])
+            else:
+                counts = Counter(map(codes.__getitem__, rows))
+            counts.pop(-1, None)
+            counts.pop(-2, None)
+            counted = list(counts.items())
+        # Dict insertion order is first-seen order within the row
+        # subset, which is exactly the legacy buckets-dict order — the
+        # stable sort therefore tie-breaks identically.
+        counted.sort(key=lambda item: (-item[1], str(table[item[0]])))
+        size = body.get("size", 10)
+        out = []
+        for code, doc_count in counted[:size]:
+            bucket: dict[str, Any] = {"key": table[code],
+                                      "doc_count": doc_count}
+            if nested:
+                bucket.update(self.run(nested, partitions[code]))
+            out.append(bucket)
+        return {"buckets": out}
+
+    def _histogram(self, column: Column, body: dict, rows: Sequence[int],
+                   nested: Optional[dict]) -> dict:
+        interval = body.get("interval") or body.get("fixed_interval")
+        nums = column.num_list()
+        out: list = []
+        if nums is None:
+            return {"buckets": out}
+        numeric = column.numeric
+        # ``int // int`` is already an int, so the legacy ``int()``
+        # coercion is a no-op for pure-int columns with an int interval.
+        fast = column.num_kind == "q" and type(interval) is int
+        if (fast and column.num_sorted
+                and column.numeric_count == len(column.codes)):
+            # Sorted dense int column (trace timestamps): bucket
+            # boundaries fall out of bisection and each bucket is a
+            # contiguous slice of ``rows`` — no per-row Python work.
+            for key, part in self._sorted_buckets(nums, rows, interval):
+                bucket = {"key": key, "doc_count": len(part)}
+                if nested:
+                    bucket.update(self.run(nested, part))
+                out.append(bucket)
+            return {"buckets": out}
+        if nested:
+            partitions: dict[Any, list[int]] = {}
+            get_part = partitions.get
+            if fast:
+                for row in rows:
+                    if numeric[row]:
+                        key = nums[row] // interval * interval
+                        part = get_part(key)
+                        if part is None:
+                            partitions[key] = [row]
+                        else:
+                            part.append(row)
+            else:
+                for row in rows:
+                    if numeric[row]:
+                        key = int(nums[row] // interval) * interval
+                        part = get_part(key)
+                        if part is None:
+                            partitions[key] = [row]
+                        else:
+                            part.append(row)
+            for key, part in sorted(partitions.items()):
+                bucket: dict[str, Any] = {"key": key, "doc_count": len(part)}
+                bucket.update(self.run(nested, part))
+                out.append(bucket)
+        else:
+            if fast:
+                counts = Counter(nums[row] // interval * interval
+                                 for row in rows if numeric[row])
+            else:
+                counts = Counter(int(nums[row] // interval) * interval
+                                 for row in rows if numeric[row])
+            for key, doc_count in sorted(counts.items()):
+                out.append({"key": key, "doc_count": doc_count})
+        return {"buckets": out}
+
+    @staticmethod
+    def _sorted_buckets(nums: list, rows: Sequence[int],
+                        interval: int) -> list[tuple]:
+        """Bucketise a sorted dense int column by bisecting boundaries.
+
+        Returns ``(key, rows_slice)`` pairs in ascending key order —
+        exactly the buckets (and bucket members) the scalar loop would
+        produce, because for integers every value in
+        ``[key, key + interval)`` floors to the same key.
+        """
+        if type(rows) is range and rows.step == 1:
+            vals = (nums if len(rows) == len(nums)
+                    else nums[rows.start:rows.stop])
+        else:
+            vals = list(map(nums.__getitem__, rows))
+        out = []
+        i, n = 0, len(vals)
+        while i < n:
+            key = vals[i] // interval * interval
+            j = bisect_left(vals, key + interval, i + 1, n)
+            out.append((key, rows[i:j]))
+            i = j
+        return out
+
+    def _metric(self, kind: str, column: Column, body: dict,
+                rows: Sequence[int]) -> dict:
+        contiguous = type(rows) is range and rows.step == 1
+        if kind == "value_count":
+            nonnull = column.nonnull
+            if contiguous:
+                return {"value": sum(nonnull[rows.start:rows.stop])}
+            return {"value": sum(map(nonnull.__getitem__, rows))}
+        if kind == "cardinality":
+            codes = column.code_list()
+            if contiguous:
+                seen = set(codes[rows.start:rows.stop])
+            else:
+                seen = set(map(codes.__getitem__, rows))
+            seen.discard(-1)
+            seen.discard(-2)
+            return {"value": len(seen)}
+        values = column.gather_numeric(rows)
+        if kind == "percentiles":
+            percents = body.get("percents", [1, 5, 25, 50, 75, 95, 99])
+            ordered = sorted(values)
+            return {"values": {f"{p:g}": percentile(ordered, p)
+                               for p in percents}}
+        if kind == "stats":
+            if not values:
+                return {"count": 0, "min": None, "max": None,
+                        "avg": None, "sum": 0}
+            return {
+                "count": len(values),
+                "min": min(values),
+                "max": max(values),
+                "avg": sum(values) / len(values),
+                "sum": sum(values),
+            }
+        if not values:
+            return {"value": None if kind != "sum" else 0}
+        if kind == "avg":
+            return {"value": sum(values) / len(values)}
+        if kind == "min":
+            return {"value": min(values)}
+        if kind == "max":
+            return {"value": max(values)}
+        return {"value": sum(values)}          # sum

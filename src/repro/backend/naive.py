@@ -5,6 +5,10 @@ benchmarks and equivalence tests have an honest baseline:
 
 - :func:`naive_scan` — compile-and-filter over every document, no index
   help at all.  The oracle for planner-equivalence property tests.
+- :func:`naive_aggregate` — full scan feeding the legacy dict-walking
+  :func:`repro.backend.aggregations.run_aggregations`.  The oracle for
+  columnar-kernel equivalence property tests: no planner, no columns,
+  no cache anywhere in the path.
 - :func:`legacy_correlate` — the original §II-C flow: a sorted search
   to build the tag -> path mapping, one ``update_by_query`` per tag,
   then two counting queries for the fidelity tallies.  Run it against a
@@ -29,6 +33,15 @@ def naive_scan(index: Index,
     predicate = compile_query(query)
     return [(doc_id, source) for doc_id, source in index.documents()
             if predicate(source)]
+
+
+def naive_aggregate(index: Index, query: Optional[dict],
+                    aggs: dict) -> dict:
+    """Full-scan + dict-walking aggregations: the columnar oracle."""
+    from repro.backend.aggregations import run_aggregations
+
+    sources = [source for _, source in naive_scan(index, query)]
+    return run_aggregations(aggs, sources)
 
 
 def legacy_tag_to_path(store: DocumentStore, index: str,

@@ -21,19 +21,41 @@ whose values actually changed, so the correlator's per-document
 field.  ``plan_mode="legacy"`` preserves the pre-planner behaviour
 (smallest-posting-list heuristic, full reindex on every put) as the
 baseline the benchmarks measure against.
+
+Aggregations are *pushed down* to a columnar execution layer
+(:mod:`repro.backend.columns`): when a search carries ``aggs`` and no
+``sort``, the planner's candidate set is translated to row numbers and
+evaluated by typed-array kernels without ever materialising ``_source``
+dicts — the dominant cost of the dashboard path.  Results are cached
+per ``(index epoch, query, aggs)`` and invalidated by any mutation;
+``agg_mode="legacy"`` disables both pushdown and cache so benchmarks
+can measure the dict-walking baseline.  Every decision is counted and
+exposed as ``dio_store_agg_{pushdown,fallback,cache_hits,cache_misses}``
+plus a kernel-duration histogram.
 """
 
 from __future__ import annotations
 
+import copy
+import json
+import time
+from collections import OrderedDict
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.backend.aggregations import run_aggregations
+from repro.backend.columns import ColumnarUnsupported, ColumnSet
 from repro.backend.indexes import FieldIndex
 from repro.backend.planner import QueryPlan, plan_legacy, plan_query
 from repro.backend.query import compile_query, get_field
 
 #: Supported Index planning modes.
 PLAN_MODES = ("planner", "legacy")
+
+#: Supported aggregation execution modes.
+AGG_MODES = ("columnar", "legacy")
+
+#: Cached aggregation results kept per index (LRU).
+AGG_CACHE_SIZE = 64
 
 
 class StoreError(Exception):
@@ -44,11 +66,16 @@ class Index:
     """A named collection of JSON documents with secondary indexes."""
 
     def __init__(self, name: str, indexed_fields: Optional[Iterable[str]] = None,
-                 plan_mode: str = "planner"):
+                 plan_mode: str = "planner", agg_mode: Optional[str] = None):
         if plan_mode not in PLAN_MODES:
             raise StoreError(f"unknown plan mode {plan_mode!r}")
+        if agg_mode is None:
+            agg_mode = "columnar" if plan_mode == "planner" else "legacy"
+        if agg_mode not in AGG_MODES:
+            raise StoreError(f"unknown agg mode {agg_mode!r}")
         self.name = name
         self.plan_mode = plan_mode
+        self.agg_mode = agg_mode
         self._docs: dict[str, dict] = {}
         self._next_id = 1
         #: doc id -> insertion rank; lets index-accelerated scans return
@@ -60,6 +87,13 @@ class Index:
         self._fields: dict[str, FieldIndex] = {}
         for field in indexed_fields or ():
             self._fields[field] = FieldIndex(field)
+        #: Typed per-field columns for aggregation pushdown, maintained
+        #: incrementally alongside the field indexes (columnar mode).
+        self.columns = ColumnSet()
+        #: Mutation epoch — any put/delete/refresh bumps it, which is
+        #: what keys cached aggregation results out of existence.
+        self.epoch = 0
+        self._agg_cache: OrderedDict[tuple, tuple] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._docs)
@@ -103,12 +137,15 @@ class Index:
             self._rank[doc_id] = self._next_rank
             self._next_rank += 1
         self._docs[doc_id] = source
+        self.epoch += 1
         if self.plan_mode == "planner":
             for field, index in self._fields.items():
                 index.update(doc_id, get_field(source, field))
         else:
             for field, index in self._fields.items():
                 index.churn(doc_id, get_field(source, field))
+        if self.agg_mode == "columnar":
+            self.columns.note_put(doc_id, source)
         return doc_id
 
     def delete(self, doc_id: str) -> bool:
@@ -117,8 +154,11 @@ class Index:
         if source is None:
             return False
         self._rank.pop(doc_id, None)
+        self.epoch += 1
         for index in self._fields.values():
             index.remove(doc_id)
+        if self.agg_mode == "columnar":
+            self.columns.note_delete(doc_id)
         return True
 
     def get(self, doc_id: str) -> Optional[dict]:
@@ -165,16 +205,21 @@ class Index:
                 if source is not None:
                     self.put(source, doc_id)
             return
+        self.epoch += 1
         affected = self._affected_fields(fields)
-        if not affected:
+        columnar = self.agg_mode == "columnar"
+        if not affected and not columnar:
             return
         docs = self._docs
+        fields = tuple(fields) if fields is not None else None
         for doc_id in doc_ids:
             source = docs.get(doc_id)
             if source is None:
                 continue
             for index in affected:
                 index.update(doc_id, get_field(source, index.field))
+            if columnar:
+                self.columns.note_refresh(doc_id, source, fields)
 
     # ------------------------------------------------------------------
     # Read path
@@ -245,14 +290,84 @@ class Index:
         docs = self._docs
         return sum(1 for doc_id in plan.ids if predicate(docs[doc_id]))
 
+    def matching_rows(self, query: Optional[dict],
+                      plan: Optional[QueryPlan] = None) -> tuple[Any, int]:
+        """Matching *row numbers* (ascending) and the match count.
+
+        The aggregate-only read path: no ``(id, source)`` tuples, no
+        hit dicts — just the row-id set the columnar kernels consume.
+        Only valid in columnar agg mode (rows are not tracked
+        otherwise).
+        """
+        predicate = compile_query(query)   # validates even when exact
+        if plan is None:
+            plan = self.plan(query)
+        columns = self.columns
+        if plan.ids is None:
+            if plan.exact:
+                rows = columns.all_rows()
+                return rows, len(rows)
+            row_of = columns.row_of
+            rows = [row_of[doc_id] for doc_id, source in self._docs.items()
+                    if predicate(source)]
+            return rows, len(rows)
+        if plan.exact:
+            rows = columns.rows_for_ids(plan.ids)
+            return rows, len(rows)
+        docs = self._docs
+        row_of = columns.row_of
+        rows = sorted(row_of[doc_id] for doc_id in plan.ids
+                      if predicate(docs[doc_id]))
+        return rows, len(rows)
+
+    # ------------------------------------------------------------------
+    # Aggregation result cache
+
+    def agg_cache_key(self, query: Optional[dict],
+                      aggs: dict) -> Optional[tuple]:
+        """Cache key for one (query, aggs) request at the current epoch.
+
+        ``None`` when the request cannot be canonicalised (exotic value
+        types) — such requests simply bypass the cache.
+        """
+        try:
+            body = json.dumps((query, aggs), sort_keys=True, default=repr)
+        except (TypeError, ValueError):
+            return None
+        return (self.epoch, body)
+
+    def agg_cache_get(self, key: tuple) -> Optional[tuple]:
+        """Cached ``(total, aggregations)`` for ``key``, LRU-refreshed."""
+        entry = self._agg_cache.get(key)
+        if entry is not None:
+            self._agg_cache.move_to_end(key)
+        return entry
+
+    def agg_cache_put(self, key: tuple, entry: tuple) -> None:
+        """Insert one result; evicts least-recently-used beyond capacity.
+
+        Stale epochs age out through the same LRU pressure — their keys
+        can never hit again.
+        """
+        self._agg_cache[key] = entry
+        self._agg_cache.move_to_end(key)
+        while len(self._agg_cache) > AGG_CACHE_SIZE:
+            self._agg_cache.popitem(last=False)
+
 
 class DocumentStore:
     """A collection of named indices — the in-process "Elasticsearch"."""
 
-    def __init__(self, plan_mode: str = "planner") -> None:
+    def __init__(self, plan_mode: str = "planner",
+                 agg_mode: Optional[str] = None) -> None:
         if plan_mode not in PLAN_MODES:
             raise StoreError(f"unknown plan mode {plan_mode!r}")
+        if agg_mode is None:
+            agg_mode = "columnar" if plan_mode == "planner" else "legacy"
+        if agg_mode not in AGG_MODES:
+            raise StoreError(f"unknown agg mode {agg_mode!r}")
         self.plan_mode = plan_mode
+        self.agg_mode = agg_mode
         self._indices: dict[str, Index] = {}
         self.bulk_requests = 0
         self.documents_indexed = 0
@@ -262,6 +377,13 @@ class DocumentStore:
         #: Documents the executed plans had to examine vs. were stored.
         self.docs_examined = 0
         self.docs_available = 0
+        #: Aggregation-engine decisions and cache traffic.
+        self.agg_pushdowns = 0
+        self.agg_fallbacks = 0
+        self.agg_cache_hits = 0
+        self.agg_cache_misses = 0
+        #: Cumulative wall-clock time inside columnar kernels (real ns).
+        self.agg_kernel_ns = 0
         self._telemetry: Optional[dict] = None
 
     def bind_telemetry(self, registry, clock=None) -> None:
@@ -299,6 +421,30 @@ class DocumentStore:
             "Cumulative fraction of stored documents the planner's "
             "candidate sets skipped (1.0 = nothing scanned).",
         ).set_function(self.pruning_ratio)
+        registry.counter(
+            "dio_store_agg_pushdown_total",
+            "Aggregation requests served by the columnar kernels "
+            "(typed columns, no _source materialisation).",
+        ).set_function(lambda: self.agg_pushdowns)
+        registry.counter(
+            "dio_store_agg_fallback_total",
+            "Aggregation requests served by the legacy dict-walking "
+            "path (unsupported shape or agg_mode=legacy).",
+        ).set_function(lambda: self.agg_fallbacks)
+        registry.counter(
+            "dio_store_agg_cache_hits_total",
+            "Aggregation requests answered from the (epoch, query, "
+            "aggs) result cache.",
+        ).set_function(lambda: self.agg_cache_hits)
+        registry.counter(
+            "dio_store_agg_cache_misses_total",
+            "Cacheable aggregation requests that had to be computed.",
+        ).set_function(lambda: self.agg_cache_misses)
+        registry.gauge(
+            "dio_store_agg_cache_hit_rate",
+            "Fraction of cacheable aggregation requests served from "
+            "the result cache.",
+        ).set_function(self.agg_cache_hit_rate)
         self._telemetry = {
             "clock": clock,
             "bulk_docs": registry.histogram(
@@ -313,6 +459,12 @@ class DocumentStore:
                 SPAN_HISTOGRAM,
                 "Duration of pipeline stage spans "
                 "(virtual nanoseconds).", labelnames=("span",)),
+            "agg_kernel": registry.histogram(
+                "dio_store_agg_kernel_ns",
+                "Wall-clock duration of one columnar aggregation "
+                "kernel run (real nanoseconds).",
+                buckets=(0, 10_000, 100_000, 1_000_000, 10_000_000,
+                         100_000_000, 1_000_000_000)),
         }
 
     def _observe_span(self, name: str, start_ns: Optional[int]) -> None:
@@ -332,6 +484,24 @@ class DocumentStore:
             return 0.0
         return 1.0 - self.docs_examined / self.docs_available
 
+    def agg_cache_hit_rate(self) -> float:
+        """Fraction of cacheable aggregation requests served from cache."""
+        cacheable = self.agg_cache_hits + self.agg_cache_misses
+        if cacheable == 0:
+            return 0.0
+        return self.agg_cache_hits / cacheable
+
+    def agg_stats(self) -> dict:
+        """Aggregation-engine counters as plain data (CLI/dashboards)."""
+        return {
+            "pushdowns": self.agg_pushdowns,
+            "fallbacks": self.agg_fallbacks,
+            "cache_hits": self.agg_cache_hits,
+            "cache_misses": self.agg_cache_misses,
+            "cache_hit_rate": self.agg_cache_hit_rate(),
+            "kernel_ms": self.agg_kernel_ns / 1e6,
+        }
+
     # ------------------------------------------------------------------
     # Index management
 
@@ -340,7 +510,8 @@ class DocumentStore:
         """Create an index; error if it exists."""
         if name in self._indices:
             raise StoreError(f"index {name!r} already exists")
-        index = Index(name, indexed_fields, plan_mode=self.plan_mode)
+        index = Index(name, indexed_fields, plan_mode=self.plan_mode,
+                      agg_mode=self.agg_mode)
         self._indices[name] = index
         return index
 
@@ -437,6 +608,21 @@ class DocumentStore:
         target = self._index(index)
         return target.iter_matches(query, self._plan(target, query))
 
+    def _run_kernels(self, target: Index, aggs: dict,
+                     rows) -> Optional[dict]:
+        """One timed columnar kernel run; ``None`` routes to fallback."""
+        kernel_start = time.perf_counter_ns()
+        try:
+            result = target.columns.run(aggs, rows)
+        except ColumnarUnsupported:
+            return None
+        elapsed = time.perf_counter_ns() - kernel_start
+        self.agg_pushdowns += 1
+        self.agg_kernel_ns += elapsed
+        if self._telemetry is not None:
+            self._telemetry["agg_kernel"].observe(elapsed)
+        return result
+
     def search(self, index: str, query: Optional[dict] = None,
                aggs: Optional[dict] = None,
                sort: Optional[list] = None,
@@ -447,6 +633,14 @@ class DocumentStore:
         ``sort`` entries may be field names (ascending) or
         ``{"field": {"order": "desc"}}`` dicts.  ``size=None`` returns
         all hits.
+
+        Aggregation requests without ``sort`` go through the columnar
+        engine: a cache probe first, then — for supported shapes — the
+        planner's row-id set handed straight to the typed-array kernels
+        (``size=0`` requests never materialise a single hit tuple or
+        ``_source`` dict).  Anything else falls back to the legacy
+        dict-walking :func:`run_aggregations`, which is also the
+        correctness oracle the kernels are tested against.
         """
         if from_ < 0:
             raise StoreError(f"from_ must be non-negative: {from_}")
@@ -455,39 +649,88 @@ class DocumentStore:
         start = self._span_start()
         self.queries += 1
         target = self._index(index)
-        matches = target.scan(query, self._plan(target, query))
-        total = len(matches)
+
+        aggregations = None
+        total: Optional[int] = None
+        cache_key = cacheable = None
+        if aggs is not None and not sort and target.agg_mode == "columnar":
+            cache_key = target.agg_cache_key(query, aggs)
+            cacheable = cache_key is not None
+            if cacheable:
+                cached = target.agg_cache_get(cache_key)
+                if cached is not None:
+                    self.agg_cache_hits += 1
+                    total, aggregations = copy.deepcopy(cached)
+                    cacheable = False      # nothing new to store
+                else:
+                    self.agg_cache_misses += 1
+
+        if aggregations is not None and size == 0:
+            # Fully served from cache: no planning, no scan, no hits.
+            if self._telemetry is not None:
+                self._telemetry["query_hits"].observe(total)
+                self._observe_span("store.query", start)
+            return _response(index, total, [], aggregations)
+
+        plan = self._plan(target, query)
+        pushdown = (aggs is not None and aggregations is None and not sort
+                    and target.agg_mode == "columnar"
+                    and target.columns.supports(aggs, target._docs))
+
+        matches = window = None
+        if size == 0 and not sort:
+            # Aggregate-only (or count-only) path: never build hit
+            # tuples or per-hit dicts.  (With ``sort`` given, the
+            # ordinary path below keeps the legacy validate-and-sort
+            # semantics; its hit window is empty anyway.)
+            if aggs is None:
+                total = target.count(query, plan)
+            elif aggregations is None:
+                if pushdown:
+                    rows, total = target.matching_rows(query, plan)
+                    aggregations = self._run_kernels(target, aggs, rows)
+                if aggregations is None:
+                    matches = target.scan(query, plan)
+                    total = len(matches)
+                    aggregations = run_aggregations(
+                        aggs, [src for _, src in matches])
+                    self.agg_fallbacks += 1
+            window = []
+        else:
+            matches = target.scan(query, plan)
+            total = len(matches)
+            if sort:
+                for entry in reversed(sort):
+                    if isinstance(entry, str):
+                        field, descending = entry, False
+                    elif isinstance(entry, dict) and len(entry) == 1:
+                        field, opts = next(iter(entry.items()))
+                        descending = (opts or {}).get("order", "asc") == "desc"
+                    else:
+                        raise StoreError(f"bad sort entry {entry!r}")
+                    matches.sort(
+                        key=lambda pair, f=field: _sort_key(
+                            get_field(pair[1], f)),
+                        reverse=descending)
+            if aggs is not None and aggregations is None:
+                if pushdown:
+                    rows = target.columns.rows_for_ids(
+                        doc_id for doc_id, _ in matches)
+                    aggregations = self._run_kernels(target, aggs, rows)
+                if aggregations is None:
+                    aggregations = run_aggregations(
+                        aggs, [src for _, src in matches])
+                    self.agg_fallbacks += 1
+            window = (matches[from_:] if size is None
+                      else matches[from_:from_ + size])
+
         if self._telemetry is not None:
             self._telemetry["query_hits"].observe(total)
             self._observe_span("store.query", start)
-
-        if sort:
-            for entry in reversed(sort):
-                if isinstance(entry, str):
-                    field, descending = entry, False
-                elif isinstance(entry, dict) and len(entry) == 1:
-                    field, opts = next(iter(entry.items()))
-                    descending = (opts or {}).get("order", "asc") == "desc"
-                else:
-                    raise StoreError(f"bad sort entry {entry!r}")
-                matches.sort(
-                    key=lambda pair, f=field: _sort_key(get_field(pair[1], f)),
-                    reverse=descending)
-
-        aggregations = (run_aggregations(aggs, [src for _, src in matches])
-                        if aggs else None)
-
-        window = matches[from_:] if size is None else matches[from_:from_ + size]
-        response = {
-            "hits": {
-                "total": {"value": total},
-                "hits": [{"_id": doc_id, "_index": index, "_source": source}
-                         for doc_id, source in window],
-            },
-        }
-        if aggregations is not None:
-            response["aggregations"] = aggregations
-        return response
+        if cacheable and aggregations is not None:
+            target.agg_cache_put(cache_key,
+                                 (total, copy.deepcopy(aggregations)))
+        return _response(index, total, window, aggregations)
 
     def update_by_query(self, index: str, query: Optional[dict],
                         update: Callable[[dict], None] | dict) -> int:
@@ -530,6 +773,21 @@ class DocumentStore:
         for doc_id, _ in matches:
             target.delete(doc_id)
         return len(matches)
+
+
+def _response(index: str, total: int, window: list,
+              aggregations: Optional[dict]) -> dict:
+    """Assemble the ES-shaped search response envelope."""
+    response = {
+        "hits": {
+            "total": {"value": total},
+            "hits": [{"_id": doc_id, "_index": index, "_source": source}
+                     for doc_id, source in window],
+        },
+    }
+    if aggregations is not None:
+        response["aggregations"] = aggregations
+    return response
 
 
 def _sort_key(value: Any):

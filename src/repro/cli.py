@@ -163,6 +163,15 @@ def _cmd_dashboard(args) -> int:
     for session in sessions:
         print(dashboard.render(store, session=session))
         print()
+    if args.agg_stats:
+        stats = store.agg_stats()
+        print("aggregation engine: "
+              f"pushdowns={stats['pushdowns']} "
+              f"fallbacks={stats['fallbacks']} "
+              f"cache_hits={stats['cache_hits']} "
+              f"cache_misses={stats['cache_misses']} "
+              f"hit_rate={stats['cache_hit_rate']:.0%} "
+              f"kernel_ms={stats['kernel_ms']:.2f}")
     return 0
 
 
@@ -373,6 +382,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="predefined dashboard name (default: overview)")
     p_dash.add_argument("--spec", metavar="JSON_FILE",
                         help="custom dashboard spec file instead of --name")
+    p_dash.add_argument("--agg-stats", action="store_true",
+                        help="after rendering, print the store's columnar "
+                             "aggregation counters (pushdown / cache)")
     p_dash.set_defaults(func=_cmd_dashboard)
 
     p_ovh = sub.add_parser("overhead", help="Table II tracer comparison")

@@ -56,6 +56,9 @@ STAGE_COUNTERS: dict[str, tuple[tuple[str, str], ...]] = {
         ("bulk_requests", "dio_store_bulk_requests_total"),
         ("docs_indexed", "dio_store_documents_indexed_total"),
         ("queries", "dio_store_queries_total"),
+        ("agg_pushdown", "dio_store_agg_pushdown_total"),
+        ("agg_fallback", "dio_store_agg_fallback_total"),
+        ("agg_cache_hits", "dio_store_agg_cache_hits_total"),
     ),
     "correlator": (
         ("tags_resolved", "dio_correlator_tags_resolved_total"),
@@ -159,6 +162,18 @@ class PipelineHealth:
             self.registry.value("dio_correlator_documents_unresolved_total"),
             self.registry.value("dio_correlator_documents_tagged_total"))
 
+    def agg_cache_hit_rate(self) -> float:
+        """Aggregation cache hits per lookup (dashboard refresh reuse)."""
+        hits = self.registry.value("dio_store_agg_cache_hits_total")
+        misses = self.registry.value("dio_store_agg_cache_misses_total")
+        return _ratio(hits, hits + misses)
+
+    def agg_pushdown_ratio(self) -> float:
+        """Aggregation requests served by the columnar kernels."""
+        pushed = self.registry.value("dio_store_agg_pushdown_total")
+        fallback = self.registry.value("dio_store_agg_fallback_total")
+        return _ratio(pushed, pushed + fallback)
+
     #: derived gauge name -> bound method name.
     DERIVED = {
         "dio_health_drop_ratio": "drop_ratio",
@@ -167,6 +182,8 @@ class PipelineHealth:
         "dio_health_unresolved_ratio": "unresolved_ratio",
         "dio_health_spill_backlog_records": "spill_backlog",
         "dio_health_breaker_state": "breaker_state",
+        "dio_health_agg_cache_hit_rate": "agg_cache_hit_rate",
+        "dio_health_agg_pushdown_ratio": "agg_pushdown_ratio",
     }
 
     def bind_derived_gauges(self) -> None:

@@ -98,8 +98,13 @@ class Event:
         return doc
 
     def to_json(self) -> str:
-        """JSON representation (what the tracer sends over the wire)."""
-        return json.dumps(self.to_doc(), sort_keys=True)
+        """JSON representation (what the tracer sends over the wire).
+
+        Compact separators, insertion-ordered keys: ``to_doc`` already
+        emits fields in a fixed order, so per-event key sorting bought
+        nothing but CPU on the hottest serialization path.
+        """
+        return json.dumps(self.to_doc(), separators=(",", ":"))
 
     @classmethod
     def from_doc(cls, doc: dict[str, Any]) -> "Event":

@@ -37,6 +37,12 @@ def _format_count(value) -> str:
     return f"{int(value):,}"
 
 
+def _ratio_pct(numerator: float, denominator: float) -> str:
+    if not denominator:
+        return "0.0 %"
+    return f"{numerator / denominator * 100:.1f} %"
+
+
 class SelfMonitoringDashboard:
     """The "DIO self-monitoring" dashboard: the pipeline observing itself.
 
@@ -85,6 +91,29 @@ class SelfMonitoringDashboard:
         ]
         return render_table(["gauge", "value"], rows)
 
+    def agg_engine_table(self) -> str:
+        """Columnar aggregation engine: pushdown, cache, kernel time."""
+        value = self.telemetry.registry.value
+        pushed = value("dio_store_agg_pushdown_total")
+        fallback = value("dio_store_agg_fallback_total")
+        hits = value("dio_store_agg_cache_hits_total")
+        misses = value("dio_store_agg_cache_misses_total")
+        total = pushed + fallback
+        lookups = hits + misses
+        family = self.telemetry.registry.get("dio_store_agg_kernel_ns")
+        kernel_ns = sum(child.sum for _, child in family.samples()) \
+            if family is not None else 0.0
+        rows = [
+            ["pushdown", f"{_format_count(pushed)} "
+             f"({_ratio_pct(pushed, total)} of agg requests)"],
+            ["fallback (legacy walk)", _format_count(fallback)],
+            ["cache hits", f"{_format_count(hits)} "
+             f"({_ratio_pct(hits, lookups)} of lookups)"],
+            ["cache misses", _format_count(misses)],
+            ["kernel time", f"{kernel_ns / 1e6:.2f} ms total"],
+        ]
+        return render_table(["aggregation engine", "value"], rows)
+
     def span_histograms(self) -> str:
         """One sparkline per span name over the duration buckets."""
         family = self.telemetry.registry.get("dio_span_duration_ns")
@@ -112,6 +141,9 @@ class SelfMonitoringDashboard:
             "",
             "derived health gauges",
             self.derived_table(),
+            "",
+            "columnar aggregation engine (dio_store_agg_*)",
+            self.agg_engine_table(),
             "",
             "span durations (buckets 0 ns .. 10 s, log scale)",
             self.span_histograms(),

@@ -1,5 +1,7 @@
 """Tests for post-mortem session storage and session comparison."""
 
+import json
+
 import pytest
 
 from repro.analysis.compare import compare_sessions, session_fingerprint
@@ -59,6 +61,37 @@ class TestExportImport:
         hits = fresh.search("dio_trace", sort=["time"],
                             size=None)["hits"]["hits"]
         assert [h["_source"]["syscall"] for h in hits] == ["openat", "write"]
+
+    def test_roundtrip_preserves_documents_exactly(self, tmp_path):
+        """Compact data lines re-import to identical docs."""
+        store = DocumentStore()
+        seed_two_sessions(store)
+        path = tmp_path / "s1.jsonl"
+        export_session(store, "s1", path)
+        originals = [h["_source"] for h in store.search(
+            "dio_trace", query={"term": {"session": "s1"}},
+            sort=["time"], size=None)["hits"]["hits"]]
+
+        fresh = DocumentStore()
+        import_session(fresh, path)
+        reloaded = [h["_source"] for h in fresh.search(
+            "dio_trace", sort=["time"], size=None)["hits"]["hits"]]
+        assert reloaded == originals
+
+    def test_export_format_compact_data_sorted_header(self, tmp_path):
+        """Header keeps sorted keys (stable diffs); data lines are
+        compact and keep document key order."""
+        store = DocumentStore()
+        seed_two_sessions(store)
+        path = tmp_path / "s1.jsonl"
+        export_session(store, "s1", path)
+        header, *data = path.read_text().splitlines()
+        assert json.loads(header) == json.loads(
+            json.dumps(json.loads(header), sort_keys=True))
+        assert list(json.loads(header)) == sorted(json.loads(header))
+        for line in data:
+            doc = json.loads(line)
+            assert line == json.dumps(doc, separators=(",", ":"))
 
     def test_import_with_rename(self, tmp_path):
         store = DocumentStore()
