@@ -1,0 +1,52 @@
+"""Shared loader for the ``BENCH_*.json`` trajectory baselines.
+
+Every benchmark appends its run to a repo-root trajectory file so
+perf history is held across PRs.  A malformed baseline must fail the
+job loudly *before* the benchmark spends minutes running — a corrupt
+file that silently started a fresh trajectory would erase the history
+the whole scheme exists to keep.
+"""
+
+import json
+from pathlib import Path
+
+
+class BaselineError(RuntimeError):
+    """A ``BENCH_*.json`` baseline exists but cannot be used."""
+
+
+def load_trajectory(path) -> list:
+    """The baseline's entry list; ``[]`` only when the file is absent.
+
+    Raises :class:`BaselineError` on unreadable, non-JSON, or
+    non-list content — never silently discards history.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise BaselineError(
+            f"cannot read benchmark baseline {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise BaselineError(
+            f"benchmark baseline {path} is not valid JSON ({exc}); "
+            f"fix or delete the file — refusing to overwrite "
+            f"trajectory history") from exc
+    if not isinstance(data, list):
+        raise BaselineError(
+            f"benchmark baseline {path} must hold a JSON list of "
+            f"trajectory entries, found {type(data).__name__}")
+    return data
+
+
+def append_trajectory(path, entry: dict) -> None:
+    """Validate the baseline, append ``entry``, write it back."""
+    path = Path(path)
+    trajectory = load_trajectory(path)
+    trajectory.append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n",
+                    encoding="utf-8")

@@ -105,11 +105,10 @@ def _time_aggs(store: DocumentStore, query, aggs,
 
 
 def _append_trajectory(entry: dict) -> None:
-    trajectory = []
-    if ARTIFACT.exists():
-        trajectory = json.loads(ARTIFACT.read_text())
-    trajectory.append(entry)
-    ARTIFACT.write_text(json.dumps(trajectory, indent=2) + "\n")
+    # Shared loader: validates the baseline and fails loudly on a
+    # malformed file instead of silently restarting the trajectory.
+    from _baseline import append_trajectory
+    append_trajectory(ARTIFACT, entry)
 
 
 def test_aggregation_trajectory():

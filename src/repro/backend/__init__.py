@@ -37,7 +37,7 @@ from repro.backend.aggregations import run_aggregations, AggregationError
 from repro.backend.correlation import FilePathCorrelator, CorrelationReport
 from repro.backend.persistence import (SessionError, delete_session,
                                        export_session, import_session,
-                                       list_sessions)
+                                       list_sessions, recover_session)
 
 __all__ = [
     "DocumentStore",
@@ -63,4 +63,5 @@ __all__ = [
     "export_session",
     "import_session",
     "list_sessions",
+    "recover_session",
 ]

@@ -103,10 +103,21 @@ def import_session(store: DocumentStore, path: str | Path,
                 f"{path}: unsupported format {header.get('format')!r}")
         session = rename_to or header["session"]
         docs = []
-        for line in handle:
+        for lineno, line in enumerate(handle, start=2):
             if not line.strip():
                 continue
-            doc = json.loads(line)
+            # A torn write (crash mid-export, partial copy) leaves a
+            # truncated final line; surface it as a SessionError, not a
+            # raw JSONDecodeError leaking parser internals.
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SessionError(
+                    f"{path}: corrupt data line {lineno} "
+                    f"(truncated export?)") from exc
+            if not isinstance(doc, dict):
+                raise SessionError(
+                    f"{path}: data line {lineno} is not an event document")
             doc["session"] = session
             docs.append(doc)
     if len(docs) != header.get("events"):
@@ -118,6 +129,87 @@ def import_session(store: DocumentStore, path: str | Path,
                                               "time"))
     store.bulk(index, docs)
     return session
+
+
+#: Fields identifying one traced event for duplicate-replay detection.
+#: ``(tid, time)`` is unique per event in a capture (syscall CPU costs
+#: are strictly positive, so one thread cannot enter two syscalls at
+#: the same virtual nanosecond); ``syscall`` is belt and braces.
+_EVENT_KEY = ("tid", "time", "syscall")
+
+
+def recover_session(store: DocumentStore, path: str | Path,
+                    index: str = "dio_trace",
+                    rename_to: Optional[str] = None) -> dict:
+    """Best-effort import of a damaged or partial session file.
+
+    Where :func:`import_session` is strict (any corruption raises),
+    recovery keeps every intact event and reports what it could not
+    keep — the right tool after a crash tore the export mid-write, or
+    a replayed WAL re-imported lines that were already applied:
+
+    * a torn/corrupt data line is dropped (counted, never crashes);
+    * a header event-count mismatch is tolerated (counted);
+    * duplicate events — same ``(tid, time, syscall)`` — are applied
+      once (exactly-once after replay);
+    * an empty file or corrupt header recovers zero events instead of
+      raising.
+
+    Returns a report dict: ``session``, ``imported``,
+    ``dropped_corrupt``, ``dropped_duplicates``, ``header_ok``,
+    ``count_mismatch``.
+    """
+    path = Path(path)
+    report = {"session": None, "imported": 0, "dropped_corrupt": 0,
+              "dropped_duplicates": 0, "header_ok": False,
+              "count_mismatch": False}
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise SessionError(f"cannot read {path}") from exc
+    lines = text.split("\n")
+    header = None
+    if lines and lines[0].strip():
+        try:
+            parsed = json.loads(lines[0])
+            if isinstance(parsed, dict) and parsed.get("format") == FORMAT:
+                header = parsed
+        except ValueError:
+            pass
+    if header is None:
+        return report
+    report["header_ok"] = True
+    session = rename_to or header.get("session") or path.stem
+    report["session"] = session
+    docs = []
+    seen_keys: set[tuple] = set()
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("not an event document")
+        except ValueError:
+            report["dropped_corrupt"] += 1
+            continue
+        key = tuple(doc.get(field) for field in _EVENT_KEY)
+        if key in seen_keys:
+            report["dropped_duplicates"] += 1
+            continue
+        seen_keys.add(key)
+        doc["session"] = session
+        docs.append(doc)
+    expected = header.get("events")
+    if isinstance(expected, int) and expected != len(docs):
+        report["count_mismatch"] = True
+    if docs:
+        store.ensure_index(index, indexed_fields=("syscall", "proc_name",
+                                                  "pid", "tid", "file_tag",
+                                                  "session", "time"))
+        store.bulk(index, docs)
+    report["imported"] = len(docs)
+    return report
 
 
 def delete_session(store: DocumentStore, session: str,

@@ -330,6 +330,102 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_dst_run(args) -> int:
+    import json
+
+    from repro.dst import run_seeds
+
+    seeds = range(args.start, args.start + args.seeds)
+    print(f"dst: running seeds {seeds.start}..{seeds.stop - 1}")
+
+    def progress(result):
+        if not result.ok:
+            print(f"  seed {result.seed}: FAIL "
+                  f"({len(result.failures)} failures)")
+        elif args.verbose:
+            print(f"  seed {result.seed}: ok "
+                  f"({result.events_stored} events, "
+                  f"digest {result.digest[:12]})")
+
+    campaign = run_seeds(seeds, shrink_failures=args.shrink,
+                         progress=progress)
+    summary = campaign.summary()
+    print(f"dst: {summary['seeds_run']} seeds, "
+          f"{summary['seeds_failed']} failed, "
+          f"{summary['events_stored']} events stored, "
+          f"{summary['consumer_crashes']} consumer crashes, "
+          f"{summary['store_crashes']} store crashes, "
+          f"{summary['faults_injected']} faults injected")
+    if args.save_failures and campaign.failed_seeds:
+        import pathlib
+        out = pathlib.Path(args.save_failures)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in campaign.results:
+            if result.ok:
+                continue
+            scenario = campaign.shrunk.get(result.seed, result.scenario)
+            path = out / f"seed-{result.seed}.json"
+            scenario.save(path)
+            (out / f"seed-{result.seed}.failures.txt").write_text(
+                "\n".join(result.failures) + "\n", encoding="utf-8")
+            print(f"  saved {path}")
+    for seed in campaign.failed_seeds:
+        print(f"reproduce with: dio dst repro {seed}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    return 0 if campaign.ok else 1
+
+
+def _cmd_dst_repro(args) -> int:
+    from repro.dst import Scenario, generate, run_scenario, shrink
+
+    if args.scenario:
+        scenario = Scenario.load(args.scenario)
+        print(f"dst: replaying scenario file {args.scenario}")
+    else:
+        scenario = generate(args.seed)
+    print(f"dst: {scenario.describe()}")
+    result = run_scenario(scenario)
+    if result.ok:
+        print(f"dst: seed {scenario.seed} passes "
+              f"(digest {result.digest[:16]})")
+        return 0
+    print(f"dst: seed {scenario.seed} FAILS:")
+    for failure in result.failures:
+        print(f"  {failure}")
+    if args.shrink:
+        outcome = shrink(scenario, max_runs=args.shrink_budget)
+        print(f"dst: shrunk {outcome.original_ops} -> "
+              f"{outcome.final_ops} ops "
+              f"({outcome.runs_used} runs)")
+        if args.save:
+            outcome.scenario.save(args.save)
+            print(f"dst: minimal scenario saved to {args.save}")
+        else:
+            print(outcome.scenario.to_json())
+    return 1
+
+
+def _cmd_dst_corpus(args) -> int:
+    from repro.dst import run_corpus
+
+    outcomes = run_corpus(args.dir)
+    if not outcomes:
+        print(f"dst: no corpus scenarios under {args.dir}")
+        return 0
+    failed = 0
+    for path, result in outcomes:
+        verdict = "ok" if result.ok else "FAIL"
+        print(f"  {path.name}: {verdict}")
+        if not result.ok:
+            failed += 1
+            for failure in result.failures[:5]:
+                print(f"    {failure}")
+    print(f"dst: corpus {len(outcomes)} scenarios, {failed} failed")
+    return 0 if failed == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -423,6 +519,52 @@ def main(argv: list[str] | None = None) -> int:
                           default="text",
                           help="report format (default: text)")
     p_health.set_defaults(func=_cmd_health)
+
+    p_dst = sub.add_parser(
+        "dst", help="deterministic simulation testing: seeded "
+                    "whole-pipeline fuzzing with crash/fault injection")
+    dst_sub = p_dst.add_subparsers(dest="dst_command", required=True)
+
+    p_dst_run = dst_sub.add_parser(
+        "run", help="run a seed campaign through the full harness")
+    p_dst_run.add_argument("--seeds", type=int, default=50,
+                           help="number of seeds to run (default: 50)")
+    p_dst_run.add_argument("--start", type=int, default=1,
+                           help="first seed (default: 1)")
+    p_dst_run.add_argument("--shrink", action="store_true",
+                           help="minimise failing scenarios before "
+                                "reporting them")
+    p_dst_run.add_argument("--save-failures", metavar="DIR",
+                           help="write failing scenarios (shrunk when "
+                                "--shrink) and failure lists to DIR")
+    p_dst_run.add_argument("--json", metavar="PATH",
+                           help="write the campaign summary as JSON")
+    p_dst_run.add_argument("--verbose", action="store_true",
+                           help="print every seed, not just failures")
+    p_dst_run.set_defaults(func=_cmd_dst_run)
+
+    p_dst_repro = dst_sub.add_parser(
+        "repro", help="replay one seed (or a saved scenario) and "
+                      "report its failures")
+    p_dst_repro.add_argument("seed", type=int, nargs="?", default=0,
+                             help="seed to replay")
+    p_dst_repro.add_argument("--scenario", metavar="PATH",
+                             help="replay a saved scenario JSON instead "
+                                  "of generating from the seed")
+    p_dst_repro.add_argument("--shrink", action="store_true",
+                             help="minimise the scenario if it fails")
+    p_dst_repro.add_argument("--shrink-budget", type=int, default=64,
+                             help="max harness runs while shrinking")
+    p_dst_repro.add_argument("--save", metavar="PATH",
+                             help="write the shrunk scenario to PATH")
+    p_dst_repro.set_defaults(func=_cmd_dst_repro)
+
+    p_dst_corpus = dst_sub.add_parser(
+        "corpus", help="replay the checked-in regression corpus")
+    p_dst_corpus.add_argument("--dir", default="tests/corpus",
+                              help="corpus directory "
+                                   "(default: tests/corpus)")
+    p_dst_corpus.set_defaults(func=_cmd_dst_corpus)
 
     args = parser.parse_args(argv)
     return args.func(args)

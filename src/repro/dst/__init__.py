@@ -1,0 +1,50 @@
+"""Deterministic simulation testing (DST) for the whole pipeline.
+
+The tracer already runs on a simulated kernel and virtual clock; this
+package weaponises that determinism the way FoundationDB's simulator
+does.  One integer seed expands into a complete end-to-end scenario —
+a workload mix over all 42 traced syscalls, the tracer configuration,
+a backend fault plan, consumer kill/restart times, and store crash
+points — and the harness runs the scenario through the *real*
+pipeline, then judges the outcome against invariants and oracles:
+
+- :mod:`repro.dst.scenario` — seed → scenario expansion and the
+  scenario JSON format (``dio dst repro`` input);
+- :mod:`repro.dst.runner` — executes a scenario: fast run, invariant
+  checks, differential battery, legacy-oracle twin run, same-seed
+  determinism digest, torn-file storage recovery;
+- :mod:`repro.dst.invariants` — conservation, exactly-once, monotone
+  offsets, correlation consistency, telemetry cross-checks;
+- :mod:`repro.dst.differential` — fast-vs-naive query battery and
+  twin-run comparison;
+- :mod:`repro.dst.crash` — the crashing store wrapper (torn-WAL
+  recovery at bulk boundaries);
+- :mod:`repro.dst.shrink` — ddmin minimisation of failing scenarios;
+- :mod:`repro.dst.campaign` — seed campaigns and ``dst_*`` telemetry;
+- :mod:`repro.dst.corpus` — the checked-in regression corpus.
+
+See docs/TESTING.md for the operator's view.
+"""
+
+from repro.dst.campaign import CampaignResult, CampaignStats, run_seeds
+from repro.dst.corpus import load_corpus, run_corpus, save_entry
+from repro.dst.runner import RunResult, run_scenario, run_seed
+from repro.dst.scenario import APP_MODELS, Scenario, generate
+from repro.dst.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "APP_MODELS",
+    "CampaignResult",
+    "CampaignStats",
+    "RunResult",
+    "Scenario",
+    "ShrinkResult",
+    "generate",
+    "load_corpus",
+    "run_corpus",
+    "run_seed",
+    "run_scenario",
+    "run_seeds",
+    "save_entry",
+    "shrink",
+]

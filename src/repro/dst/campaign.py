@@ -1,0 +1,144 @@
+"""Seed campaigns: run N seeds, count outcomes, export ``dst_*`` metrics.
+
+A *campaign* is the unit the CLI and CI run: generate scenarios for a
+seed range, run each through the full harness, optionally shrink the
+failures, and report.  :class:`CampaignStats` is the telemetry face —
+bound into a registry it exports the ``dst_*`` metric family, so the
+self-monitoring dashboard (and ``docs/METRICS.md``) cover the test
+harness the same way they cover the pipeline under test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Optional
+
+from repro.dst.runner import RunResult, run_scenario
+from repro.dst.scenario import Scenario, generate
+from repro.dst.shrink import shrink
+
+
+class CampaignStats:
+    """Lifetime counters for DST campaigns; registry-bindable."""
+
+    def __init__(self) -> None:
+        self.seeds_run = 0
+        self.seeds_failed = 0
+        self.invariant_failures = 0
+        self.scenario_events_produced = 0
+        self.scenario_events_stored = 0
+        self.consumer_crashes_injected = 0
+        self.store_crashes_injected = 0
+        self.faults_injected = 0
+        self.shrink_runs = 0
+
+    def record(self, result: RunResult) -> None:
+        self.seeds_run += 1
+        if not result.ok:
+            self.seeds_failed += 1
+            self.invariant_failures += len(result.failures)
+        self.scenario_events_produced += result.events_produced
+        self.scenario_events_stored += result.events_stored
+        self.consumer_crashes_injected += result.consumer_crashes
+        self.store_crashes_injected += result.store_crashes
+        self.faults_injected += result.faults_injected
+
+    def bind_telemetry(self, registry) -> None:
+        """Register the ``dst_*`` counters against this stats object."""
+        for name, help_text, reader in (
+            ("dst_seeds_run_total",
+             "DST scenarios executed by campaigns in this process.",
+             lambda: self.seeds_run),
+            ("dst_seeds_failed_total",
+             "DST scenarios that violated an invariant, diverged from "
+             "an oracle, or failed recovery.",
+             lambda: self.seeds_failed),
+            ("dst_invariant_failures_total",
+             "Individual failure messages across all failed seeds.",
+             lambda: self.invariant_failures),
+            ("dst_scenario_events_produced_total",
+             "Ring-buffer events produced across all DST scenarios.",
+             lambda: self.scenario_events_produced),
+            ("dst_scenario_events_stored_total",
+             "Documents landed in the backend across all DST "
+             "scenarios.",
+             lambda: self.scenario_events_stored),
+            ("dst_consumer_crashes_injected_total",
+             "Consumer kill/restart cycles injected by crash "
+             "schedules.",
+             lambda: self.consumer_crashes_injected),
+            ("dst_store_crashes_injected_total",
+             "Store crashes (torn-WAL recoveries) injected at bulk "
+             "boundaries.",
+             lambda: self.store_crashes_injected),
+            ("dst_faults_injected_total",
+             "Backend faults (outages, timeouts, slowdowns) injected "
+             "by scenario fault plans.",
+             lambda: self.faults_injected),
+            ("dst_shrink_runs_total",
+             "Harness executions spent minimising failing scenarios.",
+             lambda: self.shrink_runs),
+        ):
+            registry.counter(name, help_text).set_function(reader)
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Outcome of one campaign."""
+
+    results: list
+    stats: CampaignStats
+    shrunk: dict
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failed_seeds(self) -> list[int]:
+        return [result.seed for result in self.results if not result.ok]
+
+    def summary(self) -> dict:
+        return {
+            "seeds_run": self.stats.seeds_run,
+            "seeds_failed": self.stats.seeds_failed,
+            "failed_seeds": self.failed_seeds,
+            "events_produced": self.stats.scenario_events_produced,
+            "events_stored": self.stats.scenario_events_stored,
+            "consumer_crashes": self.stats.consumer_crashes_injected,
+            "store_crashes": self.stats.store_crashes_injected,
+            "faults_injected": self.stats.faults_injected,
+        }
+
+
+def run_seeds(seeds: Iterable[int], *, shrink_failures: bool = False,
+              shrink_budget: int = 48,
+              stats: Optional[CampaignStats] = None,
+              progress: Optional[Callable[[RunResult], None]] = None,
+              stop_after: Optional[int] = None) -> CampaignResult:
+    """Run a campaign over ``seeds``.
+
+    ``shrink_failures`` minimises each failing scenario (bounded by
+    ``shrink_budget`` extra harness runs per failure); ``stop_after``
+    aborts the campaign once that many seeds have failed.
+    """
+    stats = stats or CampaignStats()
+    results: list[RunResult] = []
+    shrunk: dict[int, Scenario] = {}
+    failed = 0
+    for seed in seeds:
+        result = run_scenario(generate(seed))
+        stats.record(result)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+        if not result.ok:
+            failed += 1
+            if shrink_failures:
+                outcome = shrink(result.scenario, max_runs=shrink_budget)
+                stats.shrink_runs += outcome.runs_used
+                if outcome.still_failing:
+                    shrunk[seed] = outcome.scenario
+            if stop_after is not None and failed >= stop_after:
+                break
+    return CampaignResult(results=results, stats=stats, shrunk=shrunk)

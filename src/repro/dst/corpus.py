@@ -1,0 +1,60 @@
+"""Seed corpus: minimised scenarios checked in as regression tests.
+
+Every interesting failure the DST harness has ever caught gets its
+shrunk scenario saved under ``tests/corpus/*.json`` and replayed on
+every tier-1 CI run — the corpus is the harness's long-term memory.
+Corpus files are ordinary :meth:`repro.dst.scenario.Scenario.save`
+JSON with two extra bookkeeping keys (ignored by the loader via
+``from_dict``'s unknown-key filtering):
+
+* ``corpus_note`` — one line on what the scenario exercises;
+* ``corpus_added`` — ISO date the entry landed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.dst.runner import RunResult, run_scenario
+from repro.dst.scenario import Scenario
+
+#: Default corpus location, relative to the repository root.
+CORPUS_DIR = Path("tests") / "corpus"
+
+
+def load_corpus(directory=CORPUS_DIR) -> list[tuple[Path, Scenario]]:
+    """All corpus scenarios, sorted by filename for determinism."""
+    directory = Path(directory)
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entries.append((path, Scenario.load(path)))
+    return entries
+
+
+def save_entry(scenario: Scenario, directory=CORPUS_DIR,
+               note: str = "", name: Optional[str] = None,
+               added: str = "") -> Path:
+    """Write one scenario into the corpus; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    filename = name or f"seed-{scenario.seed}.json"
+    path = directory / filename
+    payload = scenario.to_dict()
+    if note:
+        payload["corpus_note"] = note
+    if added:
+        payload["corpus_added"] = added
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1,
+                               ensure_ascii=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def run_corpus(directory=CORPUS_DIR) -> list[tuple[Path, RunResult]]:
+    """Replay every corpus scenario through the full harness."""
+    outcomes = []
+    for path, scenario in load_corpus(directory):
+        outcomes.append((path, run_scenario(scenario)))
+    return outcomes

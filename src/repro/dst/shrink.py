@@ -1,0 +1,181 @@
+"""Greedy scenario minimisation for failing DST seeds.
+
+When a seed fails, replaying the raw generated scenario is exact but
+noisy — hundreds of ops across several processes, fault windows, and
+crash schedules, most of them irrelevant to the bug.  ``shrink`` takes
+a failing scenario and drives it to a local minimum while preserving
+the failure, ddmin-style:
+
+* drop whole processes;
+* halve each process's op list (binary chunks, then single ops);
+* drop fault windows, consumer crashes, and store crash points;
+* collapse to one CPU and the simplest ring policy.
+
+Every candidate is re-run through the *same* full harness
+(:func:`repro.dst.runner.run_scenario`), so a shrunk scenario fails
+for the same observable reason class, and the output of ``dio dst
+repro`` on the saved JSON is the minimal reproducer.  The search is
+deterministic (fixed pass order, no randomness) and bounded by
+``max_runs`` — shrinking is best-effort, never the long pole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.dst.runner import run_scenario
+from repro.dst.scenario import Scenario
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """Outcome of one shrink campaign."""
+
+    scenario: Scenario
+    original_ops: int
+    final_ops: int
+    runs_used: int
+    still_failing: bool
+
+    def summary(self) -> dict:
+        return {
+            "original_ops": self.original_ops,
+            "final_ops": self.final_ops,
+            "runs_used": self.runs_used,
+            "still_failing": self.still_failing,
+        }
+
+
+def _default_fails(scenario: Scenario) -> bool:
+    return not run_scenario(scenario, check_determinism=False).ok
+
+
+class _Budget:
+    __slots__ = ("remaining",)
+
+    def __init__(self, max_runs: int) -> None:
+        self.remaining = max_runs
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _try(candidate: Scenario, fails: Callable[[Scenario], bool],
+         budget: _Budget) -> bool:
+    if not budget.spend():
+        return False
+    try:
+        return fails(candidate)
+    except Exception:
+        # A candidate that crashes the harness still reproduces a bug,
+        # but not necessarily *the* bug; treat it as not preserving
+        # the failure so shrinking stays on the original trail.
+        return False
+
+
+def _with(scenario: Scenario, **overrides) -> Scenario:
+    return dataclasses.replace(scenario, **overrides)
+
+
+def _shrink_list(scenario: Scenario, field: str,
+                 fails: Callable[[Scenario], bool],
+                 budget: _Budget) -> Scenario:
+    """ddmin over one list-valued scenario field."""
+    items = list(getattr(scenario, field))
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1 and items:
+        i = 0
+        while i < len(items):
+            candidate_items = items[:i] + items[i + chunk:]
+            candidate = _with(scenario, **{field: candidate_items})
+            if _try(candidate, fails, budget):
+                items = candidate_items
+                scenario = candidate
+            else:
+                i += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return scenario
+
+
+def _shrink_ops(scenario: Scenario, fails: Callable[[Scenario], bool],
+                budget: _Budget) -> Scenario:
+    """ddmin each process's op list independently."""
+    for pi in range(len(scenario.processes)):
+        ops = list(scenario.processes[pi]["ops"])
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1 and ops:
+            i = 0
+            while i < len(ops):
+                candidate_ops = ops[:i] + ops[i + chunk:]
+                processes = [dict(p) for p in scenario.processes]
+                processes[pi] = dict(processes[pi], ops=candidate_ops)
+                candidate = _with(scenario, processes=processes)
+                if _try(candidate, fails, budget):
+                    ops = candidate_ops
+                    scenario = candidate
+                else:
+                    i += chunk
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return scenario
+
+
+def shrink(scenario: Scenario,
+           fails: Optional[Callable[[Scenario], bool]] = None,
+           max_runs: int = 64) -> ShrinkResult:
+    """Minimise ``scenario`` while ``fails`` stays true.
+
+    ``fails`` defaults to "the full harness reports any failure".
+    The returned scenario is verified failing one final time unless
+    the budget ran out mid-pass.
+    """
+    fails = fails or _default_fails
+    budget = _Budget(max_runs)
+    original_ops = scenario.total_ops
+
+    if not _try(scenario, fails, budget):
+        return ShrinkResult(scenario=scenario, original_ops=original_ops,
+                            final_ops=original_ops,
+                            runs_used=max_runs - budget.remaining,
+                            still_failing=False)
+
+    # Fixpoint: repeat the pass list until nothing shrinks further.
+    while True:
+        before = (scenario.total_ops, len(scenario.processes),
+                  len(scenario.fault_windows),
+                  len(scenario.consumer_crashes),
+                  len(scenario.store_crashes), scenario.ncpus)
+        scenario = _shrink_list(scenario, "processes", fails, budget)
+        scenario = _shrink_ops(scenario, fails, budget)
+        scenario = _shrink_list(scenario, "fault_windows", fails, budget)
+        scenario = _shrink_list(scenario, "consumer_crashes", fails,
+                                budget)
+        scenario = _shrink_list(scenario, "store_crashes", fails, budget)
+        if scenario.ncpus > 1:
+            candidate = _with(scenario, ncpus=1)
+            if _try(candidate, fails, budget):
+                scenario = candidate
+        if scenario.ring_policy != "drop-new":
+            candidate = _with(scenario, ring_policy="drop-new")
+            if _try(candidate, fails, budget):
+                scenario = candidate
+        after = (scenario.total_ops, len(scenario.processes),
+                 len(scenario.fault_windows),
+                 len(scenario.consumer_crashes),
+                 len(scenario.store_crashes), scenario.ncpus)
+        if after == before or budget.remaining <= 0:
+            break
+
+    # Every kept candidate was verified failing when accepted, so the
+    # result still reproduces by construction.
+    return ShrinkResult(scenario=scenario, original_ops=original_ops,
+                        final_ops=scenario.total_ops,
+                        runs_used=max_runs - budget.remaining,
+                        still_failing=True)

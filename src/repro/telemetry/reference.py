@@ -57,6 +57,10 @@ _SECTIONS = (
      "Computed from the families above by "
      ":class:`repro.telemetry.health.PipelineHealth`; these are what "
      "``dio health`` renders."),
+    ("dst_", "Deterministic simulation testing",
+     "Campaign counters from the DST harness (``dio dst run``): "
+     "seeded whole-pipeline scenarios with fault, crash, and "
+     "torn-WAL injection.  See docs/TESTING.md."),
 )
 
 _HEADER = """# DIO metrics reference
@@ -105,6 +109,9 @@ def build_reference_registry() -> MetricsRegistry:
         yield from tracer.shutdown()
 
     env.run(until=env.process(main()))
+
+    from repro.dst.campaign import CampaignStats
+    CampaignStats().bind_telemetry(tracer.telemetry.registry)
     return tracer.telemetry.registry
 
 

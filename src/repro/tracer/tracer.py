@@ -126,6 +126,11 @@ class TracerStats:
         return self._tracer._staged_events
 
     @property
+    def crash_lost(self) -> int:
+        """Staged events lost to consumer crashes before shipping."""
+        return int(self._tracer._m_crash_lost.value)
+
+    @property
     def spilled_records(self) -> int:
         """Records written to the dead-letter WAL."""
         return self._tracer._spill.spilled_records_total
@@ -208,6 +213,10 @@ class DIOTracer:
         self._m_shed = registry.counter(
             "dio_consumer_shed_total",
             "Events shed by user-space backpressure (policy 'drop').")
+        self._m_crash_lost = registry.counter(
+            "dio_consumer_crash_lost_total",
+            "Parsed events lost from user-space staging when the "
+            "consumer process crashed before shipping them.")
 
         #: Resilience state of the shipping hop (see module docstring).
         self._backoff = DecorrelatedJitterBackoff(
@@ -307,9 +316,54 @@ class DIOTracer:
         self._running = False
 
     def drain(self):
-        """Process generator: wait until the consumer finished draining."""
-        if self._consumer is not None:
-            yield self._consumer
+        """Process generator: wait until the consumer finished draining.
+
+        Loops rather than waiting once: if the consumer was killed and
+        restarted while we waited, the fresh process must also finish
+        before the drain is complete.
+        """
+        while self._consumer is not None and self._consumer.is_alive:
+            current = self._consumer
+            yield current
+            if self._consumer is current:
+                break
+
+    def kill_consumer(self) -> int:
+        """Simulate a user-space consumer crash (SIGKILL, OOM, …).
+
+        The consumer process dies at its current yield point — since
+        every bulk request is issued synchronously between yields, a
+        crash can never tear a half-applied bulk.  Parsed batches
+        staged in process memory die with it (counted in
+        ``dio_consumer_crash_lost_total``); the kernel-side ring
+        buffers and the durable spill WAL survive for the restarted
+        consumer.  Returns how many staged events were lost.
+        """
+        if self._consumer is None or not self._consumer.is_alive:
+            return 0
+        self._consumer.interrupt("consumer-crash")
+        self._consumer = None
+        lost = self._staged_events
+        if lost:
+            self._m_crash_lost.inc(lost)
+        self._staged.clear()
+        self._staged_events = 0
+        # Retry scheduling state lived in the dead process; a fresh
+        # consumer starts eager.  Breaker/backoff objects persist (the
+        # supervisor remembers the backend was unhealthy).
+        self._next_attempt_ns = 0
+        return lost
+
+    def restart_consumer(self) -> None:
+        """Start a fresh consumer process after :meth:`kill_consumer`.
+
+        Safe whether or not tracing is still attached: a restarted
+        consumer on a stopped tracer simply drains the rings and the
+        spill WAL, then exits.
+        """
+        if self._consumer is not None and self._consumer.is_alive:
+            raise RuntimeError("consumer is already running")
+        self._consumer = self.env.process(self._consume_loop())
 
     def shutdown(self):
         """Process generator: stop, drain, and correlate (if configured)."""

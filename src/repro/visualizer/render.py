@@ -36,8 +36,11 @@ def render_table(headers: Sequence[str],
                 widths[i] = max(widths[i], len(cell))
 
     def format_row(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(widths[i])
-                         for i, cell in enumerate(cells)).rstrip()
+        # Cells beyond the header count render unpadded rather than
+        # crashing the dashboard on a malformed row.
+        return "  ".join(
+            cell.ljust(widths[i]) if i < len(widths) else cell
+            for i, cell in enumerate(cells)).rstrip()
 
     lines = [format_row(list(headers)),
              format_row(["-" * w for w in widths])]

@@ -1,0 +1,72 @@
+"""The benchmark baseline loader must fail loudly, never silently.
+
+``benchmarks/_baseline.py`` guards the ``BENCH_*.json`` trajectory
+files: a malformed baseline must abort the job with a clear message
+instead of silently restarting the perf history (the regression this
+suite pins down).  The module lives outside the installed package, so
+it is loaded by path here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (Path(__file__).resolve().parent.parent
+                / "benchmarks" / "_baseline.py")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    spec = importlib.util.spec_from_file_location("_baseline",
+                                                  _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_missing_baseline_starts_fresh(baseline, tmp_path):
+    assert baseline.load_trajectory(tmp_path / "BENCH_x.json") == []
+
+
+def test_malformed_json_fails_loudly(baseline, tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text('[{"run": 1}', encoding="utf-8")  # truncated
+    with pytest.raises(baseline.BaselineError) as excinfo:
+        baseline.load_trajectory(path)
+    message = str(excinfo.value)
+    assert "BENCH_x.json" in message
+    assert "refusing to overwrite" in message
+
+
+def test_non_list_baseline_fails_loudly(baseline, tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text('{"run": 1}', encoding="utf-8")
+    with pytest.raises(baseline.BaselineError) as excinfo:
+        baseline.load_trajectory(path)
+    assert "JSON list" in str(excinfo.value)
+
+
+def test_append_preserves_history(baseline, tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    baseline.append_trajectory(path, {"run": 1})
+    baseline.append_trajectory(path, {"run": 2})
+    assert json.loads(path.read_text()) == [{"run": 1}, {"run": 2}]
+
+
+def test_append_refuses_to_clobber_corrupt_baseline(baseline, tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(baseline.BaselineError):
+        baseline.append_trajectory(path, {"run": 1})
+    # The corrupt file is left untouched for forensics.
+    assert path.read_text() == "not json"
+
+
+def test_bench_files_use_the_shared_loader():
+    bench_dir = _MODULE_PATH.parent
+    for name in ("test_query_engine.py", "test_aggregations.py",
+                 "test_resilience_pipeline.py"):
+        text = (bench_dir / name).read_text(encoding="utf-8")
+        assert "from _baseline import append_trajectory" in text, name

@@ -178,3 +178,62 @@ class TestHealthCommand:
         report = json.loads(capsys.readouterr().out)
         assert "stages" in report and "derived" in report
         assert report["stages"][1]["name"] == "ring_buffer"
+
+
+class TestDstCommand:
+    def test_run_campaign(self, capsys, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        assert main(["dst", "run", "--seeds", "3",
+                     "--json", str(summary_path)]) == 0
+        out = capsys.readouterr().out
+        assert "running seeds 1..3" in out
+        assert "0 failed" in out
+        import json
+        summary = json.loads(summary_path.read_text())
+        assert summary["seeds_run"] == 3
+        assert summary["seeds_failed"] == 0
+
+    def test_repro_passing_seed(self, capsys):
+        assert main(["dst", "repro", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 7 passes" in out
+        assert "digest" in out
+
+    def test_repro_scenario_file(self, capsys, tmp_path):
+        from repro.dst import generate
+
+        path = tmp_path / "s.json"
+        generate(2).save(path)
+        assert main(["dst", "repro", "--scenario", str(path)]) == 0
+        assert "passes" in capsys.readouterr().out
+
+    def test_corpus_replays(self, capsys):
+        assert main(["dst", "corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_corpus_empty_dir(self, capsys, tmp_path):
+        assert main(["dst", "corpus", "--dir", str(tmp_path)]) == 0
+        assert "no corpus scenarios" in capsys.readouterr().out
+
+    def test_failing_seed_is_reported_and_saved(self, capsys, tmp_path):
+        from repro.backend.store import DocumentStore
+
+        real_bulk = DocumentStore.bulk
+
+        def buggy_bulk(self, index, sources, *args, **kwargs):
+            kept = [s for i, s in enumerate(sources) if i % 7 != 6]
+            return real_bulk(self, index, kept, *args, **kwargs)
+
+        DocumentStore.bulk = buggy_bulk
+        try:
+            code = main(["dst", "run", "--seeds", "1",
+                         "--save-failures", str(tmp_path / "fails")])
+        finally:
+            DocumentStore.bulk = real_bulk
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "dio dst repro 1" in out
+        assert (tmp_path / "fails" / "seed-1.json").exists()
+        assert (tmp_path / "fails" / "seed-1.failures.txt").exists()
