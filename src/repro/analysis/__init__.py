@@ -22,6 +22,14 @@ from repro.analysis.compare import (Divergence, SessionComparison,
                                     compare_sessions, session_fingerprint)
 from repro.analysis.blame import (SpikeBlame, ThreadActivity, blame_spikes,
                                   render_blame)
+from repro.analysis.dfg import (DFGComparison, DirectlyFollowsGraph, Phase,
+                                compare_session_dfgs, merged_dfg, mine_dfgs,
+                                mine_phases, segment_phases)
+from repro.analysis.streaming import (DiagnosisTap, StreamingDetector,
+                                      default_streaming_detectors)
+from repro.analysis.diagnose import (DiagnosisReport, RankedFinding,
+                                     diagnose_session, diagnose_store,
+                                     follow_session)
 
 __all__ = [
     "LatencyPoint",
@@ -46,4 +54,20 @@ __all__ = [
     "ThreadActivity",
     "blame_spikes",
     "render_blame",
+    "DFGComparison",
+    "DirectlyFollowsGraph",
+    "Phase",
+    "compare_session_dfgs",
+    "merged_dfg",
+    "mine_dfgs",
+    "mine_phases",
+    "segment_phases",
+    "DiagnosisTap",
+    "StreamingDetector",
+    "default_streaming_detectors",
+    "DiagnosisReport",
+    "RankedFinding",
+    "diagnose_session",
+    "diagnose_store",
+    "follow_session",
 ]

@@ -24,15 +24,51 @@ from repro.kernel.errno import Errno
 
 
 class Finding(NamedTuple):
-    """One detected issue."""
+    """One detected issue.
+
+    ``evidence`` links the finding back to the raw events that support
+    it: ``{"event_ids": [...], "window": {"start_ns", "end_ns"}}``.
+    Batch detectors fill it from backend hits; streaming detectors fill
+    what they can afford in bounded memory (ids are capped).  It is a
+    trailing field with a default, so positional construction — and
+    ``__str__`` — are unchanged.
+    """
 
     detector: str
     severity: str  # "info" | "warning" | "critical"
     title: str
     details: dict
+    evidence: Optional[dict] = None
 
     def __str__(self) -> str:
         return f"[{self.severity}] {self.detector}: {self.title}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (reports, ``--json`` outputs)."""
+        return {
+            "detector": self.detector,
+            "severity": self.severity,
+            "title": self.title,
+            "details": dict(self.details),
+            "evidence": dict(self.evidence) if self.evidence else None,
+        }
+
+
+#: Cap on event ids carried inside one finding's evidence.
+EVIDENCE_ID_CAP = 20
+
+
+def make_evidence(event_ids: Sequence[str] = (),
+                  start_ns: Optional[int] = None,
+                  end_ns: Optional[int] = None) -> dict:
+    """Build the canonical evidence dict (ids capped, window optional)."""
+    evidence: dict = {"event_ids": [str(i) for i in
+                                    list(event_ids)[:EVIDENCE_ID_CAP]]}
+    if start_ns is not None or end_ns is not None:
+        evidence["window"] = {"start_ns": int(start_ns or 0),
+                              "end_ns": int(end_ns if end_ns is not None
+                                            else start_ns or 0)}
+    return evidence
 
 
 class Detector:
@@ -54,6 +90,19 @@ class Detector:
         if session:
             must.append({"term": {"session": session}})
         return {"bool": {"must": must}} if must else {"match_all": {}}
+
+    def _collect_evidence(self, store: DocumentStore, index: str,
+                          session: Optional[str],
+                          extra: list) -> dict:
+        """Evidence (event ids + time window) for the matching events."""
+        response = store.search(
+            index, query=self._session_query(session, extra),
+            sort=["time"], size=None)
+        hits = response["hits"]["hits"]
+        times = [hit["_source"].get("time", 0) for hit in hits]
+        return make_evidence([hit["_id"] for hit in hits],
+                             min(times) if times else None,
+                             max(times) if times else None)
 
 
 class StaleOffsetDetector(Detector):
@@ -77,6 +126,9 @@ class StaleOffsetDetector(Detector):
                          "file_path": resume.file_path,
                          "offset": resume.offset,
                          "time": resume.time},
+                evidence=self._collect_evidence(
+                    store, index, session,
+                    [{"term": {"file_tag": resume.file_tag}}]),
             ))
         return findings
 
@@ -109,6 +161,9 @@ class SmallIODetector(Detector):
                     details={"file_tag": pattern.file_tag,
                              "requests": requests,
                              "mean_bytes": relevant},
+                    evidence=self._collect_evidence(
+                        store, index, session,
+                        [{"term": {"file_tag": pattern.file_tag}}]),
                 ))
         return findings
 
@@ -141,6 +196,9 @@ class RandomAccessDetector(Detector):
                              "reads": pattern.reads,
                              "sequential_fraction":
                                  pattern.sequential_fraction},
+                    evidence=self._collect_evidence(
+                        store, index, session,
+                        [{"term": {"file_tag": pattern.file_tag}}]),
                 ))
         return findings
 
@@ -157,26 +215,31 @@ class FailedSyscallDetector(Detector):
     def run(self, store, index, session=None):
         query = self._session_query(session,
                                     [{"range": {"ret": {"lt": 0}}}])
-        response = store.search(index, query=query, size=None)
-        clusters: dict[tuple[str, int], int] = {}
+        response = store.search(index, query=query, sort=["time"],
+                                size=None)
+        clusters: dict[tuple[str, int], list] = {}
         for hit in response["hits"]["hits"]:
             source = hit["_source"]
             key = (source["syscall"], -source["ret"])
-            clusters[key] = clusters.get(key, 0) + 1
+            clusters.setdefault(key, []).append(hit)
         findings = []
-        for (syscall, errno_value), count in sorted(clusters.items()):
-            if count < self.min_failures:
+        for (syscall, errno_value), hits in sorted(clusters.items()):
+            if len(hits) < self.min_failures:
                 continue
             try:
                 errno_name = Errno(errno_value).name
             except ValueError:
                 errno_name = str(errno_value)
+            times = [hit["_source"].get("time", 0) for hit in hits]
             findings.append(Finding(
                 detector=self.name,
                 severity="warning",
-                title=f"{syscall} failed with {errno_name} {count} times",
+                title=(f"{syscall} failed with {errno_name} "
+                       f"{len(hits)} times"),
                 details={"syscall": syscall, "errno": errno_name,
-                         "count": count},
+                         "count": len(hits)},
+                evidence=make_evidence([hit["_id"] for hit in hits],
+                                       min(times), max(times)),
             ))
         return findings
 
@@ -219,6 +282,12 @@ class FdLeakDetector(Detector):
                            f"({opens - closes} descriptors left open)"),
                     details={"pid": bucket["key"], "opens": opens,
                              "closes": closes},
+                    evidence=self._collect_evidence(
+                        store, index, session,
+                        [{"term": {"pid": bucket["key"]}},
+                         {"terms": {"syscall": ["open", "openat", "creat",
+                                                "close"]}},
+                         {"range": {"ret": {"gte": 0}}}]),
                 ))
         return findings
 
@@ -255,22 +324,31 @@ class ShortLivedFileDetector(Detector):
                  {"range": {"ret": {"gt": 0}}}]),
             size=None)
         churn: dict[str, int] = {}
+        churn_hits: dict[str, list] = {}
         for hit in writes["hits"]["hits"]:
             source = hit["_source"]
             path = source["file_path"]
             if path in deleted_paths:
                 churn[path] = churn.get(path, 0) + source["ret"]
+                churn_hits.setdefault(path, []).append(hit)
         heavy = {path: total for path, total in churn.items()
                  if total >= self.min_bytes}
         if len(heavy) < self.min_files:
             return []
         total = sum(heavy.values())
+        evidence_hits = [hit for path in sorted(heavy)
+                         for hit in churn_hits[path]]
+        evidence_hits += list(unlinked["hits"]["hits"])
+        times = [hit["_source"].get("time", 0) for hit in evidence_hits]
         return [Finding(
             detector=self.name,
             severity="info",
             title=(f"{len(heavy)} files totalling {total:,} written bytes "
                    "were deleted within the session (write churn)"),
             details={"files": len(heavy), "bytes": total},
+            evidence=make_evidence([hit["_id"] for hit in evidence_hits],
+                                   min(times) if times else None,
+                                   max(times) if times else None),
         )]
 
 
@@ -310,6 +388,9 @@ class ContentionDetector(Detector):
             details={"contended_windows": len(report.contended_windows),
                      "calm_windows": len(report.calm_windows),
                      "client_slowdown": report.client_slowdown},
+            evidence=make_evidence(
+                start_ns=min(report.contended_windows),
+                end_ns=max(report.contended_windows) + self.window_ns),
         )]
 
 

@@ -1,0 +1,307 @@
+"""The unified diagnosis surface: one evidence-backed report.
+
+This is the layer ROADMAP item 4 asked for: the paper's two headline
+case studies (Fluent Bit data loss §III-B, RocksDB contention §III-C)
+diagnosed *automatically* instead of by a human reading dashboards.
+
+:func:`diagnose_session` merges two sources of findings —
+
+- the **batch** detector battery (:mod:`repro.analysis.detectors`),
+  which runs backend queries post-mortem, and
+- the **streaming** battery (:mod:`repro.analysis.streaming`), either
+  a live :class:`~repro.analysis.streaming.DiagnosisTap` that rode the
+  tracer's consumer path, or a replay of the stored events through a
+  fresh tap —
+
+ranks them by severity and confidence (a finding corroborated by both
+sources outranks one seen by a single source), attaches the mined DFG
+fingerprint and behaviour phases, and renders a deterministic report:
+same events in, byte-identical report out (pinned by the DST digest).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.analysis.detectors import (DEFAULT_DETECTORS, Detector, Finding,
+                                      run_detectors)
+from repro.analysis.dfg import (DirectlyFollowsGraph, Phase, merged_dfg,
+                                segment_phases)
+from repro.analysis.streaming import DiagnosisTap
+from repro.backend.store import DocumentStore
+
+_SEVERITY_ORDER = {"critical": 0, "warning": 1, "info": 2}
+
+#: Confidence assigned by provenance: corroborated findings (same
+#: detector surfaced by both the batch and the streaming battery)
+#: outrank single-source ones; batch outranks streaming (it saw the
+#: complete stream with the backend's indexes, not a bounded tap).
+CONFIDENCE = {"both": 0.95, "batch": 0.8, "streaming": 0.6}
+
+
+class RankedFinding:
+    """One finding with its provenance and confidence."""
+
+    __slots__ = ("finding", "source", "confidence", "emit_ns")
+
+    def __init__(self, finding: Finding, source: str,
+                 emit_ns: Optional[int] = None) -> None:
+        self.finding = finding
+        self.source = source            # "batch" | "streaming" | "both"
+        self.confidence = CONFIDENCE[source]
+        self.emit_ns = emit_ns
+
+    @property
+    def sort_key(self) -> tuple:
+        return (_SEVERITY_ORDER.get(self.finding.severity, 9),
+                -self.confidence, self.finding.detector,
+                self.finding.title)
+
+    def as_dict(self) -> dict:
+        out = self.finding.as_dict()
+        out["source"] = self.source
+        out["confidence"] = self.confidence
+        if self.emit_ns is not None:
+            out["emit_ns"] = self.emit_ns
+        return out
+
+
+class DiagnosisReport:
+    """The merged, ranked, evidence-backed diagnosis of one session."""
+
+    def __init__(self, session: Optional[str],
+                 findings: list[RankedFinding],
+                 dfg: DirectlyFollowsGraph,
+                 phases: list[Phase],
+                 events: int) -> None:
+        self.session = session
+        self.findings = findings
+        self.dfg = dfg
+        self.phases = phases
+        self.events = events
+
+    # -- summaries -----------------------------------------------------
+
+    @property
+    def severities(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for ranked in self.findings:
+            severity = ranked.finding.severity
+            counts[severity] = counts.get(severity, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def detectors_fired(self) -> list[str]:
+        return sorted({ranked.finding.detector
+                       for ranked in self.findings})
+
+    @property
+    def has_critical(self) -> bool:
+        return any(ranked.finding.severity == "critical"
+                   for ranked in self.findings)
+
+    def as_dict(self) -> dict:
+        """JSON-ready, deterministic (stable ordering throughout)."""
+        return {
+            "session": self.session,
+            "events": self.events,
+            "severities": self.severities,
+            "detectors_fired": self.detectors_fired,
+            "findings": [ranked.as_dict() for ranked in self.findings],
+            "dfg": self.dfg.fingerprint(),
+            "phases": [phase.as_dict() for phase in self.phases],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable report (deterministic)."""
+        lines = [f"=== diagnosis for session {self.session!r} ===",
+                 f"{self.events} events analyzed; "
+                 + (", ".join(f"{count} {severity}" for severity, count
+                              in self.severities.items())
+                    if self.findings else "no issues detected")]
+        for ranked in self.findings:
+            finding = ranked.finding
+            lines.append(f"  {finding}")
+            lines.append(f"      source: {ranked.source}  "
+                         f"confidence: {ranked.confidence:.2f}")
+            evidence = finding.evidence or {}
+            ids = evidence.get("event_ids") or []
+            window = evidence.get("window")
+            parts = []
+            if ids:
+                shown = ", ".join(ids[:4])
+                more = f" (+{len(ids) - 4} more)" if len(ids) > 4 else ""
+                parts.append(f"events [{shown}{more}]")
+            if window:
+                parts.append(f"window {window['start_ns'] / 1e6:.1f}"
+                             f"-{window['end_ns'] / 1e6:.1f} ms")
+            if parts:
+                lines.append(f"      evidence: {'; '.join(parts)}")
+        lines.append("")
+        lines.append(f"behaviour: {len(self.phases)} phase(s), "
+                     f"{len(self.dfg.node_counts)} DFG nodes, "
+                     f"{len(self.dfg.edges)} edges")
+        for index, phase in enumerate(self.phases, 1):
+            top = ", ".join(f"{src}->{dst}" for src, dst, _
+                            in phase.dfg.top_edges(3))
+            drift = (f" (drift {phase.drift:.2f})"
+                     if phase.drift else "")
+            lines.append(
+                f"  phase {index}: {phase.start_ns / 1e6:.1f}-"
+                f"{phase.end_ns / 1e6:.1f} ms, {phase.events} events"
+                f"{drift}; dominant: {top}")
+        return "\n".join(lines)
+
+
+def _merge(batch: Sequence[Finding],
+           streaming: Sequence[tuple[int, Finding]]) -> list[RankedFinding]:
+    """Merge the two batteries, corroborating same-detector findings.
+
+    A detector that fired in both sources yields the batch finding
+    (complete-stream evidence) at "both" confidence; streaming-only
+    findings keep their incremental emit timestamps.
+    """
+    batch_detectors = {finding.detector for finding in batch}
+    stream_detectors = {finding.detector for _, finding in streaming}
+    ranked = [RankedFinding(finding,
+                            "both" if finding.detector in stream_detectors
+                            else "batch")
+              for finding in batch]
+    for emit_ns, finding in streaming:
+        if finding.detector in batch_detectors:
+            continue                     # corroboration, not duplication
+        ranked.append(RankedFinding(finding, "streaming", emit_ns))
+    ranked.sort(key=lambda item: item.sort_key)
+    return ranked
+
+
+def _merged_feed(events: Sequence[tuple[str, dict]],
+                 latency_records: Optional[Sequence]) -> list[tuple]:
+    """Interleave events and latency records by time (stable).
+
+    Feeding them merged — the way a live deployment would see them —
+    keeps the windowed detectors' background-activity state alive when
+    a latency record closes its window, so spikes attribute correctly.
+    """
+    feed = [(source.get("time", 0), 0, index, ("event", event_id, source))
+            for index, (event_id, source) in enumerate(events)]
+    feed += [(record[0], 1, index, ("latency", record[0], record[1]))
+             for index, record in enumerate(latency_records or ())]
+    feed.sort(key=lambda item: item[:3])
+    return [item[3] for item in feed]
+
+
+def replay_through_tap(store: DocumentStore, index: str,
+                       session: Optional[str],
+                       tap: Optional[DiagnosisTap] = None,
+                       latency_records: Optional[Sequence] = None
+                       ) -> DiagnosisTap:
+    """Feed a stored session through a (fresh) streaming tap.
+
+    Post-mortem equivalent of riding the consumer path live — with the
+    bonus that stored events carry backend ids, so the streaming
+    findings get real evidence links.
+    """
+    from repro.analysis.dfg import _session_events
+
+    if tap is None:
+        tap = DiagnosisTap()
+    for item in _merged_feed(_session_events(store, index, session),
+                             latency_records):
+        if item[0] == "event":
+            tap.observe(item[2], item[1])
+        else:
+            tap.observe_latency(item[1], item[2])
+    tap.finalize()
+    return tap
+
+
+def follow_session(store: DocumentStore, index: str,
+                   session: Optional[str],
+                   tap: Optional[DiagnosisTap] = None,
+                   latency_records: Optional[Sequence] = None,
+                   emit=None) -> DiagnosisTap:
+    """Replay a stored session, surfacing findings *as they emerge*.
+
+    The ``--follow`` mode of ``dio diagnose``: ``emit(emit_ns,
+    finding)`` is called for every incremental finding in stream order,
+    including those flushed by the final watermark close.
+    """
+    from repro.analysis.dfg import _session_events
+
+    if tap is None:
+        tap = DiagnosisTap()
+
+    def drain() -> None:
+        if emit is None:
+            tap.drain_new()
+            return
+        for emit_ns, finding in tap.drain_new():
+            emit(emit_ns, finding)
+
+    for item in _merged_feed(_session_events(store, index, session),
+                             latency_records):
+        if item[0] == "event":
+            tap.observe(item[2], item[1])
+        else:
+            tap.observe_latency(item[1], item[2])
+        drain()
+    tap.finalize()
+    drain()
+    return tap
+
+
+def diagnose_session(store: DocumentStore, session: Optional[str] = None,
+                     index: str = "dio_trace",
+                     tap: Optional[DiagnosisTap] = None,
+                     detectors: Sequence[Detector] = DEFAULT_DETECTORS,
+                     latency_records: Optional[Sequence] = None,
+                     node_mode: str = "syscall",
+                     window_events: int = 64,
+                     drift_threshold: float = 0.4) -> DiagnosisReport:
+    """Diagnose one session: batch + streaming findings, DFG, phases.
+
+    ``tap`` is an already-fed live tap (from the tracer's consumer
+    path); when omitted, the stored events are replayed through a fresh
+    one.  ``latency_records`` (``(start_ns, latency_ns, ...)`` tuples,
+    e.g. ``bench.records()``) additionally feed the spike attributor.
+    """
+    batch = run_detectors(store, index, session, detectors)
+    if tap is None:
+        tap = replay_through_tap(store, index, session,
+                                 latency_records=latency_records)
+    else:
+        if latency_records:
+            # A live tap saw the syscalls during the run; the latency
+            # records only exist afterwards.  Feed them time-sorted and
+            # re-finalize to close the windows they opened.
+            for record in sorted(latency_records, key=lambda r: r[0]):
+                tap.observe_latency(record[0], record[1])
+        tap.finalize()
+    graph = merged_dfg(store, index, session, node_mode)
+    from repro.analysis.dfg import _session_events
+
+    stream = [source for _, source in _session_events(store, index, session)]
+    phases = segment_phases(stream, window_events, drift_threshold,
+                            node_mode, name=session or index)
+    return DiagnosisReport(
+        session=session,
+        findings=_merge(batch, tap.findings()),
+        dfg=graph,
+        phases=phases,
+        events=len(stream),
+    )
+
+
+def diagnose_store(store: DocumentStore, sessions: Sequence[str],
+                   index: str = "dio_trace",
+                   **kwargs) -> list[DiagnosisReport]:
+    """One report per session (for multi-session trace files)."""
+    return [diagnose_session(store, session, index, **kwargs)
+            for session in sessions]

@@ -1,0 +1,1011 @@
+"""Online, bounded-memory diagnosis detectors (the streaming half).
+
+The batch detectors (:mod:`repro.analysis.detectors`) run post-mortem
+queries against the backend.  These are their *streaming* variants:
+they attach as a :class:`DiagnosisTap` on the tracer's consumer path
+(or are replayed over a stored session) and observe each parsed event
+exactly once, in bounded memory, emitting incremental
+:class:`~repro.analysis.detectors.Finding` objects with evidence links
+(event ids when available, time windows always) as the signatures
+develop:
+
+- :class:`StreamingStaleOffsetDetector` — the Fluent Bit §III-B
+  offset-gap-after-inode-reuse signature;
+- :class:`StreamingContentionDetector` — windows where many concurrent
+  background threads depress the client syscall rate (§III-C);
+- :class:`StreamingSpikeAttributor` — latency spikes attributed to the
+  concurrent compaction/flush I/O in the same window (the streaming
+  cousin of :mod:`repro.analysis.blame`, after ReLayTracer);
+- :class:`StreamingFdLeakDetector` — per-process open-minus-close
+  watermark;
+- :class:`StreamingWriteAmplificationDetector` — background bytes
+  written per client byte written.
+
+Every per-key table is capped (``MAX_*`` constants); overflowing keys
+are dropped deterministically (oldest first), never resized unbounded.
+The tap also runs an online DFG miner (:class:`StreamingDFGMiner`) so
+``dio_dfg_*`` telemetry is live during ingest.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.detectors import Finding, make_evidence
+from repro.analysis.dfg import DirectlyFollowsGraph, EdgeStats
+
+_READS = ("read", "pread64", "readv")
+_WRITES = ("write", "pwrite64", "writev")
+_OPENS = ("open", "openat", "creat")
+#: Frozen sets for the per-batch fast paths (set membership beats
+#: tuple scans in the loops that see every ingested event).
+_READS_SET = frozenset(_READS)
+_WRITES_SET = frozenset(_WRITES)
+_RW_SET = frozenset(_READS + _WRITES)
+_FD_SET = frozenset(_OPENS) | {"close"}
+
+#: Bounded-memory caps (per detector instance).
+MAX_TRACKED_TAGS = 4096
+MAX_TRACKED_PIDS = 1024
+MAX_TRACKED_PROCS = 64
+MAX_EVIDENCE_IDS = 8
+MAX_BASELINE_WINDOWS = 256
+MAX_SPIKE_FINDINGS = 5
+MAX_WINDOW_SAMPLES = 512
+
+
+def _capped_insert(table: OrderedDict, key, factory, cap: int):
+    """``table[key]`` (creating via ``factory``), evicting oldest at cap."""
+    state = table.get(key)
+    if state is None:
+        if len(table) >= cap:
+            table.popitem(last=False)
+        state = table[key] = factory()
+    return state
+
+
+class StreamingDetector:
+    """Base class: one pass over the stream, incremental findings."""
+
+    name = "streaming-detector"
+    description = ""
+
+    def __init__(self) -> None:
+        #: ``(emit_ns, Finding)`` in emission order.
+        self.emitted: list[tuple[int, Finding]] = []
+        self._drained = 0
+        self._finalized = False
+
+    # -- feed ----------------------------------------------------------
+    def observe(self, source: dict,
+                event_id: Optional[str] = None) -> None:
+        raise NotImplementedError
+
+    def observe_batch(self, docs: list[dict]) -> None:
+        """Ingest-path fast feed: one call per consumer batch.
+
+        Semantically ``observe`` per doc (no event ids — stored ids do
+        not exist yet on the consumer path); subclasses override with
+        tight loops so the per-event cost stays within the <10% ingest
+        overhead gate (``benchmarks/test_diagnosis.py``).
+        """
+        observe = self.observe
+        for source in docs:
+            observe(source)
+
+    def observe_latency(self, start_ns: int, latency_ns: int) -> None:
+        """Optional second feed (benchmark/telemetry latency records)."""
+
+    def finalize(self, now_ns: int = 0) -> None:
+        """End of stream: emit whatever is still pending."""
+        self._finalized = True
+
+    # -- results -------------------------------------------------------
+    def _emit(self, emit_ns: int, finding: Finding) -> None:
+        self.emitted.append((emit_ns, finding))
+
+    def drain_new(self) -> list[tuple[int, Finding]]:
+        """Findings emitted since the last drain (for ``--follow``)."""
+        fresh = self.emitted[self._drained:]
+        self._drained = len(self.emitted)
+        return fresh
+
+
+class StreamingStaleOffsetDetector(StreamingDetector):
+    """§III-B offset gap after inode reuse, online.
+
+    A tag whose *first* read starts past offset 0 and returns no data
+    is suspicious; the suspicion is confirmed — and the finding emitted
+    — after ``confirm_after`` further empty reads of the same tag (the
+    reader is polling a file it will never get data from), or at
+    :meth:`finalize`.  A read that does return data clears it.
+    """
+
+    name = "stale-offset-resume"
+    description = ("first read of a fresh file starts past offset 0 and "
+                   "returns no data (possible data loss)")
+
+    def __init__(self, confirm_after: int = 3) -> None:
+        super().__init__()
+        self.confirm_after = confirm_after
+        #: tag -> suspicion state (bounded).
+        self._tags: OrderedDict[str, dict] = OrderedDict()
+
+    def observe_batch(self, docs):
+        observe = self.observe
+        reads = _READS_SET
+        for source in docs:
+            if source["syscall"] in reads:
+                observe(source)
+
+    def observe(self, source, event_id=None):
+        if source["syscall"] not in _READS_SET:
+            return
+        tag = source.get("file_tag")
+        if tag is None:
+            return
+        state = _capped_insert(self._tags, tag, dict, MAX_TRACKED_TAGS)
+        if not state:                      # first read of this tag
+            offset = source.get("offset")
+            suspicious = (offset is not None and offset > 0
+                          and source["ret"] == 0)
+            state.update(suspicious=suspicious, confirmed=False,
+                         empty_reads=0, offset=offset,
+                         proc_name=source["proc_name"],
+                         file_path=source.get("file_path"),
+                         first_ns=source.get("time", 0),
+                         last_ns=source.get("time", 0), ids=[])
+            if suspicious and event_id is not None:
+                state["ids"].append(event_id)
+            return
+        if not state.get("suspicious") or state.get("confirmed"):
+            return
+        state["last_ns"] = source.get("time", 0)
+        if source["ret"] > 0:              # data arrived: all clear
+            state["suspicious"] = False
+            return
+        state["empty_reads"] += 1
+        if event_id is not None and len(state["ids"]) < MAX_EVIDENCE_IDS:
+            state["ids"].append(event_id)
+        if state["empty_reads"] >= self.confirm_after:
+            self._confirm(source.get("file_tag"), state)
+
+    def _confirm(self, tag: str, state: dict) -> None:
+        state["confirmed"] = True
+        self._emit(state["last_ns"], Finding(
+            detector=self.name,
+            severity="critical",
+            title=(f"{state['proc_name']} resumed "
+                   f"{state['file_path'] or tag} at stale offset "
+                   f"{state['offset']}; content before EOF was never "
+                   "read (possible data loss)"),
+            details={"file_tag": tag, "file_path": state["file_path"],
+                     "offset": state["offset"],
+                     "empty_reads": state["empty_reads"]},
+            evidence=make_evidence(state["ids"], state["first_ns"],
+                                   state["last_ns"]),
+        ))
+
+    def finalize(self, now_ns=0):
+        for tag, state in self._tags.items():
+            if state.get("suspicious") and not state.get("confirmed"):
+                self._confirm(tag, state)
+        super().finalize(now_ns)
+
+
+class StreamingFdLeakDetector(StreamingDetector):
+    """Per-process descriptor watermark: opens minus closes, online."""
+
+    name = "fd-leak"
+    description = ("a process's open-descriptor watermark exceeded the "
+                   "leak threshold")
+
+    def __init__(self, min_unclosed: int = 4) -> None:
+        super().__init__()
+        self.min_unclosed = min_unclosed
+        self._pids: OrderedDict[int, dict] = OrderedDict()
+
+    def observe_batch(self, docs):
+        observe = self.observe
+        relevant = _FD_SET
+        pids = self._pids
+        for source in docs:
+            syscall = source["syscall"]
+            if syscall not in relevant:
+                continue
+            if syscall == "close":       # hot half: two counter bumps
+                if source["ret"] < 0:
+                    continue
+                state = pids.get(source["pid"])
+                if state is None:
+                    observe(source)
+                    continue
+                state["last_ns"] = source.get("time", 0)
+                state["closes"] += 1
+                if state["open"] > 0:
+                    state["open"] -= 1
+                continue
+            observe(source)
+
+    def observe(self, source, event_id=None):
+        syscall = source["syscall"]
+        if syscall not in _FD_SET:
+            return
+        if source["ret"] < 0:
+            return
+        state = _capped_insert(
+            self._pids, source["pid"],
+            lambda: {"open": 0, "watermark": 0, "opens": 0, "closes": 0,
+                     "flagged": False, "ids": [],
+                     "first_ns": source.get("time", 0), "last_ns": 0},
+            MAX_TRACKED_PIDS)
+        state["last_ns"] = source.get("time", 0)
+        if syscall == "close":
+            state["closes"] += 1
+            state["open"] = max(0, state["open"] - 1)
+            return
+        state["opens"] += 1
+        state["open"] += 1
+        if event_id is not None and len(state["ids"]) < MAX_EVIDENCE_IDS:
+            state["ids"].append(event_id)
+        if state["open"] > state["watermark"]:
+            state["watermark"] = state["open"]
+            if state["watermark"] >= self.min_unclosed \
+                    and not state["flagged"]:
+                state["flagged"] = True
+                self._emit(state["last_ns"], Finding(
+                    detector=self.name,
+                    severity="warning",
+                    title=(f"pid {source['pid']}: descriptor watermark "
+                           f"reached {state['watermark']} "
+                           f"({state['opens']} opens vs "
+                           f"{state['closes']} closes so far)"),
+                    details={"pid": source["pid"],
+                             "watermark": state["watermark"],
+                             "opens": state["opens"],
+                             "closes": state["closes"]},
+                    evidence=make_evidence(state["ids"],
+                                           state["first_ns"],
+                                           state["last_ns"]),
+                ))
+
+
+class StreamingWriteAmplificationDetector(StreamingDetector):
+    """Background bytes written per client byte written, online."""
+
+    name = "write-amplification"
+    description = ("background threads wrote far more bytes than the "
+                   "client itself")
+
+    def __init__(self, client_comm: str = "db_bench",
+                 ratio_threshold: float = 2.0,
+                 min_client_bytes: int = 64 * 1024) -> None:
+        super().__init__()
+        self.client_comm = client_comm
+        self.ratio_threshold = ratio_threshold
+        self.min_client_bytes = min_client_bytes
+        self.client_bytes = 0
+        self.total_bytes = 0
+        self._per_proc: OrderedDict[str, int] = OrderedDict()
+        self._first_ns: Optional[int] = None
+        self._last_ns = 0
+
+    def observe_batch(self, docs):
+        writes = _WRITES_SET
+        client = self.client_comm
+        per_proc = self._per_proc
+        for source in docs:
+            if source["syscall"] not in writes:
+                continue
+            size = source["ret"]
+            if size <= 0:
+                continue
+            time_ns = source.get("time", 0)
+            if self._first_ns is None:
+                self._first_ns = time_ns
+            if time_ns > self._last_ns:
+                self._last_ns = time_ns
+            self.total_bytes += size
+            proc = source["proc_name"]
+            if proc == client:
+                self.client_bytes += size
+            elif proc in per_proc:
+                per_proc[proc] += size
+            elif len(per_proc) < MAX_TRACKED_PROCS:
+                per_proc[proc] = size
+
+    def observe(self, source, event_id=None):
+        if source["syscall"] not in _WRITES_SET or source["ret"] <= 0:
+            return
+        time_ns = source.get("time", 0)
+        if self._first_ns is None:
+            self._first_ns = time_ns
+        self._last_ns = max(self._last_ns, time_ns)
+        size = source["ret"]
+        self.total_bytes += size
+        proc = source["proc_name"]
+        if proc == self.client_comm:
+            self.client_bytes += size
+            return
+        if proc in self._per_proc:
+            self._per_proc[proc] += size
+        elif len(self._per_proc) < MAX_TRACKED_PROCS:
+            self._per_proc[proc] = size
+
+    @property
+    def amplification(self) -> float:
+        if not self.client_bytes:
+            return 0.0
+        return self.total_bytes / self.client_bytes
+
+    def finalize(self, now_ns=0):
+        if (not self._finalized
+                and self.client_bytes >= self.min_client_bytes
+                and self.amplification >= self.ratio_threshold):
+            writers = sorted(self._per_proc.items(),
+                             key=lambda item: (-item[1], item[0]))[:5]
+            self._emit(self._last_ns, Finding(
+                detector=self.name,
+                severity="warning",
+                title=(f"{self.total_bytes:,} B written for "
+                       f"{self.client_bytes:,} client bytes "
+                       f"({self.amplification:.1f}x write "
+                       "amplification)"),
+                details={"total_bytes": self.total_bytes,
+                         "client_bytes": self.client_bytes,
+                         "amplification": round(self.amplification, 2),
+                         "top_writers": [[name, size]
+                                         for name, size in writers]},
+                evidence=make_evidence(start_ns=self._first_ns,
+                                       end_ns=self._last_ns),
+            ))
+        super().finalize(now_ns)
+
+
+class _WindowState:
+    """Per-window scratch shared by the windowed detectors."""
+
+    __slots__ = ("client_count", "bg_tids", "bg_activity", "ids")
+
+    def __init__(self) -> None:
+        self.client_count = 0
+        self.bg_tids: set[int] = set()
+        #: proc_name -> [syscalls, bytes]; insertion-capped.
+        self.bg_activity: dict[str, list] = {}
+        self.ids: list[str] = []
+
+
+def _scan_windows(docs, window_ns: int, client: str,
+                  prefix: str) -> tuple[list, int]:
+    """One pass over a batch: fresh per-window aggregates + max time.
+
+    The hot loop of the windowed detectors, factored out so detectors
+    sharing a :attr:`_WindowedDetector.window_key` pay for it once per
+    batch (each then merges via ``absorb_windows``).
+    """
+    rw = _RW_SET
+    states: dict[int, _WindowState] = {}
+    max_ns = 0
+    cur_start = -1
+    state = None
+    for source in docs:
+        time_ns = source.get("time", 0)
+        if time_ns > max_ns:
+            max_ns = time_ns
+        start = time_ns - time_ns % window_ns
+        if start != cur_start:
+            cur_start = start
+            state = states.get(start)
+            if state is None:
+                state = states[start] = _WindowState()
+        proc = source["proc_name"]
+        if proc == client:
+            state.client_count += 1
+        elif proc.startswith(prefix):
+            state.bg_tids.add(source["tid"])
+            activity = state.bg_activity.get(proc)
+            if activity is None:
+                if len(state.bg_activity) < MAX_TRACKED_PROCS:
+                    activity = state.bg_activity[proc] = [0, 0]
+            if activity is not None:
+                activity[0] += 1
+                ret = source["ret"]
+                if ret > 0 and source["syscall"] in rw:
+                    activity[1] += ret
+    return list(states.items()), max_ns
+
+
+class _WindowedDetector(StreamingDetector):
+    """Shared window bookkeeping: assign, watermark-close, finalize."""
+
+    def __init__(self, window_ns: int, client_comm: str,
+                 background_prefix: str) -> None:
+        super().__init__()
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive: {window_ns}")
+        self.window_ns = window_ns
+        self.client_comm = client_comm
+        self.background_prefix = background_prefix
+        self._windows: dict[int, _WindowState] = {}
+        self._max_ns = 0
+
+    def _window_state(self, time_ns: int) -> Optional[_WindowState]:
+        start = (time_ns // self.window_ns) * self.window_ns
+        state = self._windows.get(start)
+        if state is None:
+            state = self._windows[start] = _WindowState()
+        return state
+
+    @property
+    def window_key(self) -> tuple:
+        """Detectors with equal keys can share one batch window scan."""
+        return (self.window_ns, self.client_comm, self.background_prefix)
+
+    def observe_batch(self, docs):
+        # Ingest fast path: one scan of the batch into per-window
+        # aggregates, then one watermark close (emit timestamps are
+        # event-time, so batch granularity only defers emission within
+        # the batch).
+        updates, max_ns = _scan_windows(docs, self.window_ns,
+                                        self.client_comm,
+                                        self.background_prefix)
+        self.absorb_windows(updates, max_ns)
+
+    def absorb_windows(self, updates: list, max_ns: int) -> None:
+        """Merge a shared batch scan's per-window aggregates."""
+        windows = self._windows
+        for start, new in updates:
+            state = windows.get(start)
+            if state is None:
+                state = windows[start] = _WindowState()
+            state.client_count += new.client_count
+            if new.bg_tids:
+                state.bg_tids |= new.bg_tids
+                activities = state.bg_activity
+                for proc, pair in new.bg_activity.items():
+                    activity = activities.get(proc)
+                    if activity is None:
+                        if len(activities) < MAX_TRACKED_PROCS:
+                            activities[proc] = [pair[0], pair[1]]
+                    else:
+                        activity[0] += pair[0]
+                        activity[1] += pair[1]
+        if max_ns > self._max_ns:
+            self._max_ns = max_ns
+        self._close_ready()
+
+    def observe(self, source, event_id=None):
+        time_ns = source.get("time", 0)
+        self._max_ns = max(self._max_ns, time_ns)
+        state = self._window_state(time_ns)
+        proc = source["proc_name"]
+        if proc == self.client_comm:
+            state.client_count += 1
+        elif proc.startswith(self.background_prefix):
+            state.bg_tids.add(source["tid"])
+            activity = state.bg_activity.get(proc)
+            if activity is None:
+                if len(state.bg_activity) < MAX_TRACKED_PROCS:
+                    activity = state.bg_activity[proc] = [0, 0]
+            if activity is not None:
+                activity[0] += 1
+                if source["ret"] > 0 and source["syscall"] in (
+                        _READS + _WRITES):
+                    activity[1] += source["ret"]
+            if event_id is not None and len(state.ids) < MAX_EVIDENCE_IDS:
+                state.ids.append(event_id)
+        self._close_ready()
+
+    def _close_ready(self) -> None:
+        """Close windows at least one full window behind the watermark."""
+        horizon = self._max_ns - 2 * self.window_ns
+        if horizon <= 0:
+            return
+        for start in sorted(self._windows):
+            if start + self.window_ns > horizon:
+                break
+            self._close_window(start, self._windows.pop(start))
+
+    def _close_window(self, start: int, state: _WindowState) -> None:
+        raise NotImplementedError
+
+    def finalize(self, now_ns=0):
+        for start in sorted(self._windows):
+            self._close_window(start, self._windows.pop(start))
+        super().finalize(now_ns)
+
+
+class StreamingContentionDetector(_WindowedDetector):
+    """§III-C, online: background bursts depress the client rate.
+
+    Windows close one full window behind the event-time watermark.
+    Each closed window is classified calm/contended by the number of
+    distinct background TIDs; the first few contended windows emit
+    incremental info findings naming the heaviest background thread,
+    and once both regimes have enough windows and the slowdown ratio
+    clears the threshold, one summary warning is emitted.
+    """
+
+    name = "io-contention"
+    description = ("windows with many concurrent background threads "
+                   "coincide with depressed client syscall rates")
+
+    def __init__(self, window_ns: int = 100_000_000,
+                 min_threads: int = 5, min_slowdown: float = 1.1,
+                 min_windows: int = 2,
+                 client_comm: str = "db_bench",
+                 background_prefix: str = "rocksdb:low",
+                 max_window_findings: int = 3) -> None:
+        super().__init__(window_ns, client_comm, background_prefix)
+        self.min_threads = min_threads
+        self.min_slowdown = min_slowdown
+        self.min_windows = min_windows
+        self.max_window_findings = max_window_findings
+        self.calm_windows = 0
+        self.contended_windows = 0
+        self._calm_client_total = 0
+        self._contended_client_total = 0
+        self._window_findings = 0
+        self._summary_emitted = False
+        self._first_contended_ns: Optional[int] = None
+        self._last_contended_ns = 0
+
+    @property
+    def client_rate_calm(self) -> float:
+        return (self._calm_client_total / self.calm_windows
+                if self.calm_windows else 0.0)
+
+    @property
+    def client_rate_contended(self) -> float:
+        return (self._contended_client_total / self.contended_windows
+                if self.contended_windows else 0.0)
+
+    @property
+    def client_slowdown(self) -> float:
+        contended = self.client_rate_contended
+        if contended <= 0:
+            return float("inf") if self.client_rate_calm > 0 else 1.0
+        return self.client_rate_calm / contended
+
+    def _close_window(self, start, state):
+        if len(state.bg_tids) >= self.min_threads:
+            self.contended_windows += 1
+            self._contended_client_total += state.client_count
+            if self._first_contended_ns is None:
+                self._first_contended_ns = start
+            self._last_contended_ns = start + self.window_ns
+            if self._window_findings < self.max_window_findings:
+                self._window_findings += 1
+                top = sorted(state.bg_activity.items(),
+                             key=lambda item: (-item[1][1], -item[1][0],
+                                               item[0]))
+                culprit = top[0][0] if top else "?"
+                self._emit(start + self.window_ns, Finding(
+                    detector=self.name,
+                    severity="info",
+                    title=(f"contended window @ {start / 1e6:.0f} ms: "
+                           f"{len(state.bg_tids)} background threads "
+                           f"active (busiest: {culprit}), client issued "
+                           f"{state.client_count} syscalls"),
+                    details={"window_start_ns": start,
+                             "background_threads": len(state.bg_tids),
+                             "client_syscalls": state.client_count,
+                             "busiest_background": culprit},
+                    evidence=make_evidence(state.ids, start,
+                                           start + self.window_ns),
+                ))
+        else:
+            self.calm_windows += 1
+            self._calm_client_total += state.client_count
+        self._maybe_emit_summary()
+
+    def _maybe_emit_summary(self) -> None:
+        if self._summary_emitted:
+            return
+        if (self.contended_windows >= self.min_windows
+                and self.calm_windows >= self.min_windows
+                and self.client_slowdown >= self.min_slowdown):
+            self._summary_emitted = True
+            self._emit(self._last_contended_ns, Finding(
+                detector=self.name,
+                severity="warning",
+                title=(f"{self.contended_windows} windows with >= "
+                       f"{self.min_threads} {self.background_prefix}* "
+                       f"threads; client syscall rate drops "
+                       f"{self.client_slowdown:.2f}x there"),
+                details={"contended_windows": self.contended_windows,
+                         "calm_windows": self.calm_windows,
+                         "client_rate_calm":
+                             round(self.client_rate_calm, 2),
+                         "client_rate_contended":
+                             round(self.client_rate_contended, 2),
+                         "client_slowdown":
+                             round(self.client_slowdown, 2)},
+                evidence=make_evidence(
+                    start_ns=self._first_contended_ns or 0,
+                    end_ns=self._last_contended_ns),
+            ))
+
+
+class StreamingSpikeAttributor(_WindowedDetector):
+    """Latency spikes attributed to concurrent background I/O, online.
+
+    Consumes two feeds: syscall events (:meth:`observe`) for per-window
+    background activity, and operation latency records
+    (:meth:`observe_latency`) from the benchmark/telemetry feed.  A
+    window whose p99 exceeds ``spike_factor`` times the running
+    baseline (25th percentile of closed-window p99s) emits a finding
+    naming the heaviest concurrent background threads — the streaming
+    version of :func:`repro.analysis.blame.blame_spikes`.
+    """
+
+    name = "latency-spike-blame"
+    description = ("client latency spikes attributed to concurrent "
+                   "background compaction/flush I/O")
+
+    def __init__(self, window_ns: int = 100_000_000,
+                 spike_factor: float = 2.5,
+                 client_comm: str = "db_bench",
+                 background_prefix: str = "rocksdb:low") -> None:
+        super().__init__(window_ns, client_comm, background_prefix)
+        self.spike_factor = spike_factor
+        self._latencies: dict[int, list[int]] = {}
+        self._baseline: deque[float] = deque(maxlen=MAX_BASELINE_WINDOWS)
+        self.spikes_found = 0
+        self._culprits: OrderedDict[str, int] = OrderedDict()
+
+    def observe_latency(self, start_ns, latency_ns):
+        self._max_ns = max(self._max_ns, start_ns)
+        start = (start_ns // self.window_ns) * self.window_ns
+        samples = self._latencies.setdefault(start, [])
+        if len(samples) < MAX_WINDOW_SAMPLES:
+            samples.append(latency_ns)
+        self._close_ready()
+
+    def _close_ready(self):
+        horizon = self._max_ns - 2 * self.window_ns
+        if horizon <= 0:
+            return
+        ready = sorted(set(self._windows) | set(self._latencies))
+        for start in ready:
+            if start + self.window_ns > horizon:
+                break
+            self._close_window(start,
+                               self._windows.pop(start, _WindowState()))
+
+    def _close_window(self, start, state):
+        samples = self._latencies.pop(start, None)
+        if not samples:
+            return
+        ordered = sorted(samples)
+        p99 = float(ordered[min(len(ordered) - 1,
+                                int(round(0.99 * (len(ordered) - 1))))])
+        baseline = None
+        if len(self._baseline) >= 4:
+            ranked = sorted(self._baseline)
+            baseline = ranked[len(ranked) // 4]
+        self._baseline.append(p99)
+        if baseline is None or p99 <= self.spike_factor * baseline:
+            return
+        if not state.bg_tids:
+            # A spike with no concurrent background I/O in the window
+            # has nothing to attribute — that is a latency problem, not
+            # a contention problem; stay silent rather than blame air.
+            return
+        self.spikes_found += 1
+        top = sorted(state.bg_activity.items(),
+                     key=lambda item: (-item[1][1], -item[1][0], item[0]))
+        for name, (_, size) in top[:3]:
+            if name in self._culprits:
+                self._culprits[name] += size
+            elif len(self._culprits) < MAX_TRACKED_PROCS:
+                self._culprits[name] = size
+        if self.spikes_found > MAX_SPIKE_FINDINGS:
+            return
+        culprits = [name for name, _ in top[:3]]
+        self._emit(start + self.window_ns, Finding(
+            detector=self.name,
+            severity="warning",
+            title=(f"p99 spike @ {start / 1e6:.0f} ms "
+                   f"({p99 / 1e6:.2f} ms vs baseline "
+                   f"{baseline / 1e6:.2f} ms) with "
+                   f"{len(state.bg_tids)} background threads active"
+                   + (f"; busiest: {', '.join(culprits)}"
+                      if culprits else "")),
+            details={"window_start_ns": start, "p99_ns": p99,
+                     "baseline_ns": baseline,
+                     "background_threads": len(state.bg_tids),
+                     "culprits": culprits},
+            evidence=make_evidence(state.ids, start,
+                                   start + self.window_ns),
+        ))
+
+    def finalize(self, now_ns=0):
+        remaining = sorted(set(self._windows) | set(self._latencies))
+        for start in remaining:
+            self._close_window(start,
+                               self._windows.pop(start, _WindowState()))
+        super().finalize(now_ns)
+
+
+class StreamingDFGMiner:
+    """Online per-thread DFG with drift-based phase counting.
+
+    Keeps one merged session DFG (per-thread transition chains, merged
+    edges — interleavings never invent edges) plus a drift detector
+    over fixed-size event windows; powers the ``dio_dfg_*`` telemetry
+    and the DFG section of diagnosis reports.
+    """
+
+    def __init__(self, node_mode: str = "syscall",
+                 window_events: int = 64,
+                 drift_threshold: float = 0.4,
+                 max_threads: int = 4096) -> None:
+        self.graph = DirectlyFollowsGraph("stream", node_mode)
+        self.window_events = window_events
+        self.drift_threshold = drift_threshold
+        self.max_threads = max_threads
+        self.phases = 1
+        self._prev_by_tid: OrderedDict[int, tuple[str, int]] = OrderedDict()
+        # Drift window: edge counts accumulated incrementally (one
+        # global chain restarting at "^" per window) — equivalent to
+        # feeding the window through a fresh graph, without buffering
+        # and re-observing it.
+        self._window_edges: dict[tuple[str, str], int] = {}
+        self._window_count = 0
+        self._window_prev = "^"
+        self._prev_freq: Optional[dict] = None
+
+    def observe(self, source: dict) -> None:
+        self.observe_batch((source,))
+
+    def observe_batch(self, docs: Sequence[dict]) -> None:
+        graph = self.graph
+        plain_nodes = graph.node_mode == "syscall"
+        node_for = graph.node_for
+        node_counts = graph.node_counts
+        edges = graph.edges
+        prev_by_tid = self._prev_by_tid
+        max_threads = self.max_threads
+        window_events = self.window_events
+        wedges = self._window_edges
+        wcount = self._window_count
+        wprev = self._window_prev
+        last_ns = graph.last_ns
+        if graph.first_ns is None and docs:
+            graph.first_ns = docs[0].get("time", 0)
+        graph.events += len(docs)
+        for source in docs:
+            node = source["syscall"] if plain_nodes else node_for(source)
+            time_ns = source.get("time", 0)
+            try:                     # node vocabulary is tiny: ~always hits
+                node_counts[node] += 1
+            except KeyError:
+                node_counts[node] = 1
+            if time_ns > last_ns:
+                last_ns = time_ns
+            tid = source["tid"]
+            prev = prev_by_tid.get(tid)
+            if prev is None:
+                if len(prev_by_tid) >= max_threads:
+                    prev_by_tid.popitem(last=False)
+                prev_by_tid[tid] = [node, time_ns]
+                edge = ("^", node)
+                gap = 0
+            else:
+                edge = (prev[0], node)
+                gap = time_ns - prev[1]
+                if gap < 0:
+                    gap = 0
+                prev[0] = node
+                prev[1] = time_ns
+            stats = edges.get(edge)
+            if stats is None:
+                stats = edges[edge] = EdgeStats()
+            stats.count += 1
+            stats.gap_total_ns += gap
+            if stats.gap_min_ns is None or gap < stats.gap_min_ns:
+                stats.gap_min_ns = gap
+            if gap > stats.gap_max_ns:
+                stats.gap_max_ns = gap
+
+            # Phase drift over fixed windows of the merged stream.
+            wedge = (wprev, node)
+            try:
+                wedges[wedge] += 1
+            except KeyError:
+                wedges[wedge] = 1
+            wprev = node
+            wcount += 1
+            if wcount >= window_events:
+                freq = {e: c / wcount for e, c in wedges.items()}
+                prev_freq = self._prev_freq
+                if prev_freq is not None:
+                    drift = 0.5 * sum(
+                        abs(freq.get(key, 0.0) - prev_freq.get(key, 0.0))
+                        for key in freq.keys() | prev_freq.keys())
+                    if drift > self.drift_threshold:
+                        self.phases += 1
+                self._prev_freq = freq
+                wedges = self._window_edges = {}
+                wcount = 0
+                wprev = "^"
+        graph.last_ns = last_ns
+        self._window_count = wcount
+        self._window_prev = wprev
+
+    @property
+    def nodes(self) -> int:
+        return len(self.graph.node_counts)
+
+    @property
+    def edges(self) -> int:
+        return len(self.graph.edges)
+
+    @property
+    def transitions(self) -> int:
+        return self.graph.transitions
+
+
+def default_streaming_detectors(client_comm: str = "db_bench",
+                                background_prefix: str = "rocksdb:low",
+                                window_ns: int = 100_000_000
+                                ) -> list[StreamingDetector]:
+    """The standard streaming battery, in reporting order."""
+    return [
+        StreamingStaleOffsetDetector(),
+        StreamingFdLeakDetector(),
+        StreamingContentionDetector(window_ns=window_ns,
+                                    client_comm=client_comm,
+                                    background_prefix=background_prefix),
+        StreamingSpikeAttributor(window_ns=window_ns,
+                                 client_comm=client_comm,
+                                 background_prefix=background_prefix),
+        StreamingWriteAmplificationDetector(client_comm=client_comm),
+    ]
+
+
+class DiagnosisTap:
+    """The streaming battery + DFG miner as one consumer-path tap.
+
+    The tracer calls :meth:`observe_batch` for every parsed batch on
+    the ingest path; post-mortem callers replay stored ``(id, source)``
+    pairs through :meth:`observe`.  All per-event work is plain dict
+    reads and counter bumps — the ingest-overhead benchmark
+    (``benchmarks/test_diagnosis.py``) holds the tap to <10% of the
+    indexing cost.
+    """
+
+    def __init__(self,
+                 detectors: Optional[Sequence[StreamingDetector]] = None,
+                 dfg: bool = True,
+                 client_comm: str = "db_bench",
+                 background_prefix: str = "rocksdb:low") -> None:
+        self.detectors: list[StreamingDetector] = (
+            list(detectors) if detectors is not None
+            else default_streaming_detectors(client_comm,
+                                             background_prefix))
+        self.dfg: Optional[StreamingDFGMiner] = (
+            StreamingDFGMiner() if dfg else None)
+        self.events_observed = 0
+        self.latencies_observed = 0
+        self.finalized = False
+        # Batch-path plan: windowed detectors with equal window keys
+        # share one scan per batch; everything else feeds directly.
+        # (Computed once — the detector list is fixed at construction.)
+        groups: dict[tuple, list] = {}
+        self._direct: list[StreamingDetector] = []
+        for detector in self.detectors:
+            if isinstance(detector, _WindowedDetector):
+                groups.setdefault(detector.window_key, []).append(detector)
+            else:
+                self._direct.append(detector)
+        self._window_groups = [(key, group)
+                               for key, group in groups.items()]
+
+    # -- feed ----------------------------------------------------------
+
+    def observe(self, source: dict,
+                event_id: Optional[str] = None) -> None:
+        self.events_observed += 1
+        for detector in self.detectors:
+            detector.observe(source, event_id)
+        if self.dfg is not None:
+            self.dfg.observe(source)
+
+    def observe_batch(self, docs: Iterable[dict]) -> None:
+        if not isinstance(docs, (list, tuple)):
+            docs = list(docs)
+        self.events_observed += len(docs)
+        for detector in self._direct:
+            detector.observe_batch(docs)
+        for (window_ns, client, prefix), group in self._window_groups:
+            updates, max_ns = _scan_windows(docs, window_ns, client,
+                                            prefix)
+            for detector in group:
+                detector.absorb_windows(updates, max_ns)
+        if self.dfg is not None:
+            self.dfg.observe_batch(docs)
+
+    def observe_latency(self, start_ns: int, latency_ns: int) -> None:
+        self.latencies_observed += 1
+        for detector in self.detectors:
+            detector.observe_latency(start_ns, latency_ns)
+
+    def finalize(self, now_ns: int = 0) -> None:
+        """Flush pending state; safe to call again after more feed.
+
+        The tracer finalizes the tap at shutdown, but latency records
+        (e.g. ``bench.records()``) often only exist *after* the run —
+        a second finalize closes the windows they opened.  Detectors
+        guard their own one-shot emissions.
+        """
+        self.finalized = True
+        for detector in self.detectors:
+            detector.finalize(now_ns)
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def findings_emitted(self) -> int:
+        return sum(len(d.emitted) for d in self.detectors)
+
+    def findings(self) -> list[tuple[int, Finding]]:
+        """All findings so far, ordered by emit time (stable)."""
+        merged = [item for detector in self.detectors
+                  for item in detector.emitted]
+        merged.sort(key=lambda item: (item[0], item[1].detector,
+                                      item[1].title))
+        return merged
+
+    def drain_new(self) -> list[tuple[int, Finding]]:
+        """Findings emitted since the last drain, across detectors."""
+        fresh = [item for detector in self.detectors
+                 for item in detector.drain_new()]
+        fresh.sort(key=lambda item: (item[0], item[1].detector,
+                                     item[1].title))
+        return fresh
+
+    # -- telemetry -----------------------------------------------------
+
+    def bind_telemetry(self, registry) -> None:
+        """Register the ``dio_diagnosis_*`` / ``dio_dfg_*`` families."""
+        registry.counter(
+            "dio_diagnosis_events_observed_total",
+            "Parsed events observed by the streaming diagnosis tap on "
+            "the consumer path.",
+        ).set_function(lambda: self.events_observed)
+        registry.counter(
+            "dio_diagnosis_latency_records_total",
+            "Benchmark/telemetry latency records fed to the streaming "
+            "spike attributor.",
+        ).set_function(lambda: self.latencies_observed)
+        registry.counter(
+            "dio_diagnosis_findings_total",
+            "Incremental findings emitted by the streaming detectors.",
+        ).set_function(lambda: self.findings_emitted)
+        registry.gauge(
+            "dio_diagnosis_detectors",
+            "Streaming detectors attached to the diagnosis tap.",
+        ).set_function(lambda: len(self.detectors))
+        if self.dfg is not None:
+            registry.gauge(
+                "dio_dfg_nodes",
+                "Distinct nodes in the online Directly-Follows-Graph "
+                "(syscall types, or syscall x file-class).",
+            ).set_function(lambda: self.dfg.nodes)
+            registry.gauge(
+                "dio_dfg_edges",
+                "Distinct directly-follows edges in the online DFG.",
+            ).set_function(lambda: self.dfg.edges)
+            registry.counter(
+                "dio_dfg_transitions_total",
+                "Syscall-to-syscall transitions observed by the online "
+                "DFG miner.",
+            ).set_function(lambda: self.dfg.transitions)
+            registry.counter(
+                "dio_dfg_phases_total",
+                "Behaviour phases detected by DFG drift over the "
+                "event stream.",
+            ).set_function(lambda: self.dfg.phases)

@@ -112,20 +112,29 @@ def _cmd_sessions(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    import json
+
     from repro.analysis.detectors import run_detectors
 
     store, sessions = _load_traces(args.traces)
     exit_code = 0
+    results = []
     for session in sessions:
-        print(f"=== findings for session {session!r} ===")
         findings = run_detectors(store, session=session)
+        if any(f.severity == "critical" for f in findings):
+            exit_code = 1
+        if args.json:
+            results.append({"session": session,
+                            "findings": [f.as_dict() for f in findings]})
+            continue
+        print(f"=== findings for session {session!r} ===")
         if not findings:
             print("no issues detected")
         for finding in findings:
             print(f"  {finding}")
-            if finding.severity == "critical":
-                exit_code = 1
         print()
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
     return exit_code
 
 
@@ -182,6 +191,27 @@ def _cmd_compare(args) -> int:
     store, sessions = _load_traces([args.trace_a, args.trace_b])
     session_a, session_b = sessions
     comparison = compare_sessions(store, session_a, session_b)
+    if args.json:
+        import json
+
+        from repro.analysis.dfg import compare_session_dfgs
+
+        divergence = comparison.divergence
+        print(json.dumps({
+            "session_a": session_a,
+            "session_b": session_b,
+            "syscall_deltas": comparison.syscall_deltas,
+            "common_prefix": comparison.common_prefix,
+            "behaviorally_identical": comparison.behaviorally_identical,
+            "divergence": ({
+                "position": divergence.position,
+                "event_a": divergence.event_a,
+                "event_b": divergence.event_b,
+            } if divergence else None),
+            "dfg": compare_session_dfgs(store, session_a,
+                                        session_b).as_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
     print(f"comparing {session_a!r} (A) with {session_b!r} (B)\n")
     if comparison.syscall_deltas:
         rows = [[name, f"{delta:+d}"]
@@ -195,6 +225,78 @@ def _cmd_compare(args) -> int:
     print(f"identical for the first {comparison.common_prefix} steps; "
           "first divergence:")
     print(f"  {comparison.divergence.describe()}")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    import json
+
+    from repro.analysis.diagnose import diagnose_session, follow_session
+
+    tap_by_session = {}
+    latency_by_session = {}
+    if args.scenario:
+        from repro.analysis.streaming import DiagnosisTap
+
+        tap = DiagnosisTap()
+        if args.scenario == "rocksdb":
+            from repro.experiments import run_rocksdb_case
+            from repro.experiments.rocksdb_case import RocksDBScale
+
+            scale = RocksDBScale(duration_ns=int(args.duration * SECOND))
+            case = run_rocksdb_case(scale, tap=tap)
+            store, sessions = case.store, [case.session]
+            latency_by_session[case.session] = case.bench.records()
+        else:
+            from repro.experiments import run_fluentbit_case
+
+            case = run_fluentbit_case(args.version, tap=tap)
+            store = case.store
+            sessions = [case.tracer.config.session_name]
+        tap_by_session[sessions[0]] = tap
+    elif args.traces:
+        store, sessions = _load_traces(args.traces)
+    else:
+        print("dio diagnose: provide trace files or --scenario",
+              file=sys.stderr)
+        return 2
+    if args.session:
+        if args.session not in sessions:
+            print(f"dio diagnose: session {args.session!r} not found "
+                  f"(have: {', '.join(sessions)})", file=sys.stderr)
+            return 2
+        sessions = [args.session]
+
+    reports = []
+    for session in sessions:
+        tap = tap_by_session.get(session)
+        latency = latency_by_session.get(session)
+        if args.follow:
+            def emit(emit_ns, finding):
+                print(f"[{emit_ns / 1e6:10.1f} ms] {finding}")
+
+            print(f"--- streaming findings for session {session!r} ---")
+            if tap is None:
+                tap = follow_session(store, "dio_trace", session,
+                                     latency_records=latency, emit=emit)
+                latency = None      # already fed
+            else:
+                # Live tap: it already rode the consumer path; show the
+                # incremental findings it emitted, with timestamps.
+                for emit_ns, finding in tap.drain_new():
+                    emit(emit_ns, finding)
+            print()
+        reports.append(diagnose_session(store, session, tap=tap,
+                                        latency_records=latency))
+
+    if args.json:
+        payload = [report.as_dict() for report in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
     return 0
 
 
@@ -456,13 +558,42 @@ def main(argv: list[str] | None = None) -> int:
     p_analyze = sub.add_parser(
         "analyze", help="run the misbehaviour detectors on trace files")
     p_analyze.add_argument("traces", nargs="+", metavar="TRACE")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit findings as machine-readable JSON")
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_compare = sub.add_parser(
         "compare", help="diff two traced sessions' behaviour")
     p_compare.add_argument("trace_a", metavar="TRACE_A")
     p_compare.add_argument("trace_b", metavar="TRACE_B")
+    p_compare.add_argument("--json", action="store_true",
+                           help="emit the comparison (including DFG "
+                                "drift) as machine-readable JSON")
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_diag = sub.add_parser(
+        "diagnose",
+        help="automatic diagnosis: batch + streaming detectors, DFG "
+             "phases, evidence-backed report")
+    p_diag.add_argument("traces", nargs="*", metavar="TRACE",
+                        help="trace files to diagnose post-mortem")
+    p_diag.add_argument("--scenario", choices=("fluentbit", "rocksdb"),
+                        help="run a built-in case study live with the "
+                             "streaming tap on the consumer path")
+    p_diag.add_argument("--version", choices=("1.4.0", "2.0.5"),
+                        default="1.4.0",
+                        help="Fluent Bit version (fluentbit scenario)")
+    p_diag.add_argument("--duration", type=float, default=0.4,
+                        help="virtual seconds of db_bench load "
+                             "(rocksdb scenario)")
+    p_diag.add_argument("--session", metavar="NAME",
+                        help="diagnose only this session")
+    p_diag.add_argument("--follow", action="store_true",
+                        help="print streaming findings incrementally, "
+                             "with emission timestamps")
+    p_diag.add_argument("--json", action="store_true",
+                        help="emit the diagnosis report as JSON")
+    p_diag.set_defaults(func=_cmd_diagnose)
 
     p_replay = sub.add_parser(
         "replay", help="re-execute stored sessions on a fresh kernel")

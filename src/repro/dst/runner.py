@@ -323,13 +323,24 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
 
 def run_digest(run: PipelineRun, battery_results: list,
                dashboards: list[str]) -> str:
-    """sha256 over everything an operator could observe from the run."""
+    """sha256 over everything an operator could observe from the run.
+
+    Includes the full diagnosis report (batch + streaming findings,
+    DFG fingerprint, phases), so the determinism stage pins same-seed
+    byte-identical diagnosis output too.
+    """
+    from repro.analysis.diagnose import diagnose_session
+
+    diagnosis = (diagnose_session(run.inner_store, run.session,
+                                  index=DST_INDEX).as_dict()
+                 if run.docs else None)
     payload = {
         "docs": run.docs,
         "stats": run.tracer.stats.as_dict(),
         "report": run.report.as_dict() if run.report else None,
         "battery": battery_results,
         "dashboards": dashboards,
+        "diagnosis": diagnosis,
         "syscall_counts": dict(sorted(
             run.tracer.kernel.syscall_counts.items())),
     }

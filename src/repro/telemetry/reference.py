@@ -57,6 +57,15 @@ _SECTIONS = (
      "Computed from the families above by "
      ":class:`repro.telemetry.health.PipelineHealth`; these are what "
      "``dio health`` renders."),
+    ("dio_diagnosis_", "Streaming diagnosis",
+     "The streaming-diagnosis tap (``repro.analysis.streaming``) "
+     "riding the consumer path: bounded-memory detectors emitting "
+     "incremental findings while events are ingested.  See "
+     "``dio diagnose``."),
+    ("dio_dfg_", "Directly-Follows-Graph mining",
+     "The online DFG miner inside the diagnosis tap: syscall "
+     "transition structure and behaviour-phase drift, mined live "
+     "(batch mining lives in ``repro.analysis.dfg``)."),
     ("dst_", "Deterministic simulation testing",
      "Campaign counters from the DST harness (``dio dst run``): "
      "seeded whole-pipeline scenarios with fault, crash, and "
@@ -92,12 +101,15 @@ def build_reference_registry() -> MetricsRegistry:
     from repro.sim import Environment
     from repro.tracer import DIOTracer, TracerConfig
 
+    from repro.analysis.streaming import DiagnosisTap
+
     env = Environment()
     kernel = Kernel(env, ncpus=1)
     faulty = FaultyStore(DocumentStore(), FaultPlan(),
                          clock=lambda: env.now)
     tracer = DIOTracer(env, kernel, faulty,
-                       TracerConfig(session_name="reference"))
+                       TracerConfig(session_name="reference"),
+                       tap=DiagnosisTap())
     task = kernel.spawn_process("ref").threads[0]
     tracer.attach()
 

@@ -174,11 +174,18 @@ class DIOTracer:
     def __init__(self, env: Environment, kernel: Kernel,
                  store: DocumentStore,
                  config: Optional[TracerConfig] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 tap=None):
         self.env = env
         self.kernel = kernel
         self.store = store
         self.config = config or TracerConfig()
+        #: Optional streaming-diagnosis tap (repro.analysis.streaming.
+        #: DiagnosisTap): observes every parsed batch on the consumer
+        #: path and is finalized at shutdown.  Charges no virtual time —
+        #: its wall-clock cost is bounded by the ingest-overhead
+        #: benchmark instead.
+        self.tap = tap
 
         self.ring = PerCPURingBuffer(
             ncpus=kernel.ncpus,
@@ -276,6 +283,8 @@ class DIOTracer:
             self.filter.bind_telemetry(registry)
             self.store.bind_telemetry(registry, clock=lambda: env.now)
             env.bind_telemetry(registry)
+            if self.tap is not None:
+                self.tap.bind_telemetry(registry)
 
         self._enter_prog = EBPFProgram(
             "dio_sys_enter", ProgramType.SYS_ENTER, self._on_enter,
@@ -369,6 +378,8 @@ class DIOTracer:
         """Process generator: stop, drain, and correlate (if configured)."""
         self.stop()
         yield from self.drain()
+        if self.tap is not None:
+            self.tap.finalize(self.env.now)
         if self.config.correlate_on_stop:
             correlator = FilePathCorrelator(
                 self.store,
@@ -574,8 +585,10 @@ class DIOTracer:
                     config.parse_ns_per_event * len(batch))
                 events = [self._parse(record) for record in batch]
             self._m_parsed.inc(len(events))
-            self._staged.append(
-                _StagedBatch([event.to_doc() for event in events]))
+            docs = [event.to_doc() for event in events]
+            if self.tap is not None:
+                self.tap.observe_batch(docs)
+            self._staged.append(_StagedBatch(docs))
             self._staged_events += len(events)
             if inline_ship:
                 now = self.env.now

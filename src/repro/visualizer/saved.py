@@ -29,7 +29,8 @@ from repro.visualizer.render import render_histogram
 
 #: Recognized panel types.
 PANEL_TYPES = ("event_table", "syscall_histogram", "process_table",
-               "thread_sparklines", "offset_heatmap", "process_io")
+               "thread_sparklines", "offset_heatmap", "process_io",
+               "diagnosis")
 
 
 class DashboardError(Exception):
@@ -83,6 +84,11 @@ class Dashboard:
             if not panel.get("file_path") and not panel.get("file_tag"):
                 raise DashboardError(
                     "offset_heatmap needs file_path or file_tag")
+        if kind == "diagnosis":
+            limit = panel.get("max_findings")
+            if limit is not None and (not isinstance(limit, int)
+                                      or limit < 0):
+                raise DashboardError(f"bad max_findings {limit!r}")
 
     def to_spec(self) -> dict:
         """The JSON-serializable representation."""
@@ -133,6 +139,15 @@ class Dashboard:
         elif kind == "offset_heatmap":
             body = dash.offset_heatmap(file_path=panel.get("file_path"),
                                        file_tag=panel.get("file_tag"))
+        elif kind == "diagnosis":
+            from repro.analysis.diagnose import diagnose_session
+
+            report = diagnose_session(
+                dash.store, dash.session, dash.index,
+                window_events=panel.get("window_events", 64))
+            if panel.get("max_findings") is not None:
+                report.findings = report.findings[:panel["max_findings"]]
+            body = report.render()
         else:  # pragma: no cover - validated at load time
             raise DashboardError(f"unknown panel type {kind!r}")
         return f"-- {title} --\n{body}"
@@ -165,6 +180,15 @@ PREDEFINED_DASHBOARDS: dict[str, dict] = {
         "panels": [
             {"type": "thread_sparklines", "window_ms": 100,
              "title": "syscalls over time by thread"},
+        ],
+    },
+    "diagnosis": {
+        "name": "diagnosis",
+        "title": "Automatic diagnosis",
+        "panels": [
+            {"type": "diagnosis",
+             "title": "ranked findings, DFG phases, and evidence"},
+            {"type": "process_table", "title": "events per process"},
         ],
     },
 }

@@ -1,0 +1,231 @@
+"""Tests for the unified diagnosis surface and ``dio diagnose``."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnose import (CONFIDENCE, DiagnosisReport,
+                                     RankedFinding, _merge, diagnose_session,
+                                     diagnose_store, follow_session)
+from repro.analysis.detectors import Finding
+from repro.analysis.streaming import DiagnosisTap
+from repro.apps.fluentbit import FLUENTBIT_BUGGY, FLUENTBIT_FIXED
+from repro.cli import main
+from repro.experiments import run_fluentbit_case, run_rocksdb_case
+from repro.experiments.rocksdb_case import RocksDBScale
+
+
+@pytest.fixture(scope="module")
+def buggy_case():
+    return run_fluentbit_case(FLUENTBIT_BUGGY)
+
+
+@pytest.fixture(scope="module")
+def rocksdb_case():
+    return run_rocksdb_case(RocksDBScale(duration_ns=400_000_000))
+
+
+class TestMerge:
+    def test_corroborated_detector_becomes_both(self):
+        batch = [Finding("stale-offset", "critical", "batch view", {})]
+        streaming = [(10, Finding("stale-offset", "critical",
+                                  "stream view", {}))]
+        merged = _merge(batch, streaming)
+        assert len(merged) == 1
+        assert merged[0].source == "both"
+        assert merged[0].confidence == CONFIDENCE["both"]
+        assert merged[0].finding.title == "batch view"
+
+    def test_streaming_only_keeps_emit_ns(self):
+        merged = _merge([], [(42, Finding("fd-leak", "warning", "t", {}))])
+        assert merged[0].source == "streaming"
+        assert merged[0].emit_ns == 42
+
+    def test_ranked_by_severity_then_confidence(self):
+        batch = [Finding("a", "warning", "w", {})]
+        streaming = [(1, Finding("b", "critical", "c", {})),
+                     (2, Finding("c", "info", "i", {}))]
+        merged = _merge(batch, streaming)
+        severities = [r.finding.severity for r in merged]
+        assert severities == ["critical", "warning", "info"]
+
+
+class TestDiagnoseSession:
+    def test_fluentbit_buggy_surfaces_data_loss(self, buggy_case):
+        session = buggy_case.tracer.config.session_name
+        report = diagnose_session(buggy_case.store, session)
+        assert report.has_critical
+        stale = [r for r in report.findings
+                 if "stale" in r.finding.detector]
+        assert stale
+        # Replay corroborates the batch finding: both batteries saw it.
+        assert stale[0].source == "both"
+        assert stale[0].confidence == CONFIDENCE["both"]
+        assert stale[0].finding.evidence["event_ids"]
+
+    def test_fluentbit_fixed_is_clean_of_criticals(self):
+        case = run_fluentbit_case(FLUENTBIT_FIXED)
+        report = diagnose_session(case.store,
+                                  case.tracer.config.session_name)
+        assert not report.has_critical
+
+    def test_rocksdb_contention_with_latency_records(self, rocksdb_case):
+        report = diagnose_session(rocksdb_case.store, rocksdb_case.session,
+                                  latency_records=rocksdb_case.bench.records())
+        contention = [r for r in report.findings
+                      if r.finding.detector == "io-contention"]
+        assert contention
+        assert contention[0].source == "both"
+
+    def test_live_tap_agrees_with_replay(self, buggy_case):
+        tap = DiagnosisTap()
+        case = run_fluentbit_case(FLUENTBIT_BUGGY, tap=tap)
+        session = case.tracer.config.session_name
+        live = diagnose_session(case.store, session, tap=tap)
+        replay = diagnose_session(case.store, session)
+        assert live.detectors_fired == replay.detectors_fired
+        assert live.severities == replay.severities
+
+    def test_report_has_dfg_and_phases(self, buggy_case):
+        session = buggy_case.tracer.config.session_name
+        report = diagnose_session(buggy_case.store, session)
+        assert report.events > 0
+        assert report.dfg.node_counts
+        assert report.phases
+        assert sum(p.events for p in report.phases) == report.events
+
+    def test_to_json_is_deterministic(self, buggy_case):
+        session = buggy_case.tracer.config.session_name
+        one = diagnose_session(buggy_case.store, session).to_json()
+        two = diagnose_session(buggy_case.store, session).to_json()
+        assert one == two
+        payload = json.loads(one)
+        assert payload["session"] == session
+        assert payload["severities"].get("critical", 0) >= 1
+
+    def test_render_mentions_sources_and_evidence(self, buggy_case):
+        session = buggy_case.tracer.config.session_name
+        text = diagnose_session(buggy_case.store, session).render()
+        assert f"=== diagnosis for session {session!r} ===" in text
+        assert "source: both" in text
+        assert "evidence:" in text
+        assert "behaviour:" in text
+        assert "phase 1:" in text
+
+    def test_diagnose_store_one_report_per_session(self, buggy_case):
+        session = buggy_case.tracer.config.session_name
+        reports = diagnose_store(buggy_case.store, [session])
+        assert len(reports) == 1
+        assert isinstance(reports[0], DiagnosisReport)
+
+
+class TestFollowSession:
+    def test_emits_incrementally_in_stream_order(self, buggy_case):
+        session = buggy_case.tracer.config.session_name
+        seen = []
+        follow_session(buggy_case.store, "dio_trace", session,
+                       emit=lambda ns, f: seen.append((ns, f)))
+        assert seen
+        assert [ns for ns, _ in seen] == sorted(ns for ns, _ in seen)
+        assert any(f.detector == "stale-offset-resume" for _, f in seen)
+
+
+class TestRankedFinding:
+    def test_as_dict_includes_provenance(self):
+        ranked = RankedFinding(Finding("d", "warning", "t", {"k": 1}),
+                               "streaming", emit_ns=7)
+        payload = ranked.as_dict()
+        assert payload["source"] == "streaming"
+        assert payload["confidence"] == CONFIDENCE["streaming"]
+        assert payload["emit_ns"] == 7
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(KeyError):
+            RankedFinding(Finding("d", "info", "t", {}), "psychic")
+
+
+class TestDiagnoseCLI:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("diag-traces")
+        buggy = base / "buggy.jsonl"
+        assert main(["fluentbit", "--version", "1.4.0",
+                     "--export", str(buggy)]) == 0
+        return buggy
+
+    def test_no_arguments_is_an_error(self, capsys):
+        assert main(["diagnose"]) == 2
+        assert "provide trace files or --scenario" in capsys.readouterr().err
+
+    def test_diagnose_trace_file(self, traces, capsys):
+        assert main(["diagnose", str(traces)]) == 0
+        out = capsys.readouterr().out
+        assert "diagnosis for session 'fluentbit-1.4.0'" in out
+        assert "stale-offset" in out
+        assert "source: both" in out
+
+    def test_json_output(self, traces, capsys):
+        assert main(["diagnose", str(traces), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["session"] == "fluentbit-1.4.0"
+        assert "stale-offset-resume" in payload["detectors_fired"]
+        kinds = {f["detector"] for f in payload["findings"]}
+        assert "stale-offset-resume" in kinds
+
+    def test_session_filter_unknown_session(self, traces, capsys):
+        assert main(["diagnose", str(traces), "--session", "nope"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_follow_prints_incremental_findings(self, traces, capsys):
+        assert main(["diagnose", str(traces), "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "--- streaming findings for session" in out
+        assert "ms]" in out
+
+    def test_scenario_fluentbit_live(self, capsys):
+        assert main(["diagnose", "--scenario", "fluentbit"]) == 0
+        out = capsys.readouterr().out
+        assert "stale-offset" in out
+        assert "source: both" in out
+
+    def test_scenario_rocksdb_live(self, capsys):
+        assert main(["diagnose", "--scenario", "rocksdb",
+                     "--duration", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "io-contention" in out
+
+
+class TestAnalyzeCompareJSON:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("json-traces")
+        buggy = base / "buggy.jsonl"
+        fixed = base / "fixed.jsonl"
+        assert main(["fluentbit", "--version", "1.4.0",
+                     "--export", str(buggy)]) == 0
+        assert main(["fluentbit", "--version", "2.0.5",
+                     "--export", str(fixed)]) == 0
+        return buggy, fixed
+
+    def test_analyze_json(self, traces, capsys):
+        assert main(["analyze", str(traces[0]), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["session"] == "fluentbit-1.4.0"
+        severities = {f["severity"] for f in payload[0]["findings"]}
+        assert "critical" in severities
+
+    def test_analyze_json_exit_zero_when_clean(self, traces, capsys):
+        assert main(["analyze", str(traces[1]), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(f["severity"] != "critical"
+                   for f in payload[0]["findings"])
+
+    def test_compare_json(self, traces, capsys):
+        assert main(["compare", str(traces[0]), str(traces[1]),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["session_a"] == "fluentbit-1.4.0"
+        assert payload["session_b"] == "fluentbit-2.0.5"
+        assert payload["behaviorally_identical"] is False
+        assert payload["divergence"]["position"] >= 0
+        assert payload["dfg"]["distance"] > 0

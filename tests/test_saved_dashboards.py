@@ -51,6 +51,12 @@ class TestSpecValidation:
                                  "panels": [{"type": "thread_sparklines",
                                              "window_ms": -5}]})
 
+    def test_diagnosis_panel_bad_max_findings(self):
+        with pytest.raises(DashboardError):
+            Dashboard.from_spec({"name": "x", "title": "t",
+                                 "panels": [{"type": "diagnosis",
+                                             "max_findings": -1}]})
+
     def test_invalid_json_string(self):
         with pytest.raises(DashboardError):
             Dashboard.from_spec("{nope")
@@ -104,6 +110,20 @@ class TestRendering:
         assert "custom" in text
         # The event table honours the proc filter.
         assert "worker" not in text.split("event_table")[-1]
+
+    def test_diagnosis_dashboard_renders_report(self, store):
+        text = load_predefined("diagnosis").render(store, session="s")
+        assert "Automatic diagnosis" in text
+        assert "diagnosis for session 's'" in text
+        assert "behaviour:" in text
+
+    def test_diagnosis_panel_truncates_findings(self, store):
+        dashboard = Dashboard.from_spec({
+            "name": "d", "title": "d",
+            "panels": [{"type": "diagnosis", "max_findings": 0,
+                        "window_events": 2}]})
+        text = dashboard.render(store, session="s")
+        assert "diagnosis for session 's'" in text
 
     def test_session_scoping(self, store):
         store.bulk("dio_trace", [
