@@ -1,0 +1,191 @@
+"""Vectorized-ingest trajectory benchmark: tracer → indexed wall-clock.
+
+Measures the end-to-end consumer path — ring-buffer drain, parse,
+bulk into the indexed store — for both ingest modes over the same
+pre-produced ring contents:
+
+- ``legacy``: one ``Event`` + one ``dict`` per record, ``bulk``;
+- ``vectorized``: whole-batch ``RecordBatch.decode`` + ``bulk_columnar``
+  (lanes straight into the doc table, field indexes, and columns; no
+  per-event ``_source`` materialisation).
+
+The headline gate is **≥5x end-to-end throughput at 1M events**; the
+regression gate holds the vectorized path to within 20% of the best
+same-size entry in ``BENCH_ingest.json`` (the CI smoke job runs a
+reduced ``DIO_BENCH_EVENTS``).  A differential stage re-runs the
+queries, aggregations, and diagnosis over both stores and requires
+byte-identical answers — speed never buys a different result.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel
+from repro.sim import Environment
+from repro.tracer import DIOTracer, TracerConfig
+from repro.tracer.events import estimate_record_size
+
+N_EVENTS = int(os.environ.get("DIO_BENCH_EVENTS", "1000000"))
+ROUNDS = 1 if N_EVENTS >= 500_000 else 3
+BATCH = 2048
+NCPUS = 4
+SESSION = "bench-ingest"
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+_SYSCALLS = ("read", "write", "pread64", "pwrite64", "fsync", "lseek",
+             "openat", "close")
+_PROCS = ("db_bench", "db_bench", "rocksdb:low0", "rocksdb:low1",
+          "rocksdb:high0", "wal_writer")
+
+
+def _make_records(n: int, seed: int = 2208) -> list[dict]:
+    """Raw ring records, shaped exactly like ``_record_event`` emits."""
+    rng = random.Random(seed)
+    records = []
+    clock = 0
+    for i in range(n):
+        clock += rng.randrange(500, 1500)
+        syscall = _SYSCALLS[i % len(_SYSCALLS)]
+        args = ({"fd": 3 + rng.randrange(4), "data": b"x" * 64}
+                if syscall in ("write", "pwrite64")
+                else {"fd": 3 + rng.randrange(4)})
+        records.append({
+            "syscall": syscall,
+            "args": args,
+            "ret": rng.randrange(0, 65536),
+            "pid": 4000 + rng.randrange(4),
+            "tid": 4000 + rng.randrange(16),
+            "comm": _PROCS[rng.randrange(len(_PROCS))],
+            "enter_ns": clock,
+            "exit_ns": clock + rng.randrange(200, 5000),
+            "file_type": "regular",
+            "offset": rng.randrange(0, 1 << 20),
+            "file_tag": f"7 {rng.randrange(16)} 1",
+        })
+    return records
+
+
+def _run_mode(records: list[dict], mode: str):
+    """One tracer→indexed run; returns (wall seconds, store)."""
+    env = Environment()
+    kernel = Kernel(env, ncpus=NCPUS)
+    store = DocumentStore()
+    config = TracerConfig(
+        session_name=SESSION,
+        ingest_mode=mode,
+        batch_size=BATCH,
+        # Everything is pre-produced, so the ring must hold the whole
+        # load and the consumer must never block on staging room.
+        ring_capacity_bytes_per_cpu=1 << 34,
+        max_inflight_events=1 << 30,
+        correlate_on_stop=False,
+        telemetry_enabled=False,
+    )
+    tracer = DIOTracer(env, kernel, store, config)
+    tracer.attach()
+    for i, record in enumerate(records):
+        tracer.ring.produce(i % NCPUS, record,
+                            estimate_record_size(record["syscall"],
+                                                 record["args"]))
+    start = time.perf_counter()
+    env.run(until=env.process(tracer.shutdown()))
+    elapsed = time.perf_counter() - start
+    assert store.count(config.index) == len(records)
+    return elapsed, store
+
+
+def _best_of(records: list[dict], mode: str):
+    best, keep = float("inf"), None
+    for _ in range(ROUNDS):
+        elapsed, store = _run_mode(records, mode)
+        if elapsed < best:
+            best, keep = elapsed, store
+    return best, keep
+
+
+def _differential_gate(legacy_store, vec_store) -> None:
+    """Same answers from both stores: queries, aggs, diagnosis."""
+    from repro.analysis.diagnose import diagnose_session
+
+    index = TracerConfig().index
+    assert (list(vec_store.scan(index, {"match_all": {}}))
+            == list(legacy_store.scan(index, {"match_all": {}})))
+    queries = [
+        {"term": {"syscall": "write"}},
+        {"range": {"time": {"gte": 0, "lt": 10 ** 12}}},
+        {"bool": {"must": [{"term": {"proc_name": "db_bench"}}],
+                  "must_not": [{"term": {"syscall": "close"}}]}},
+    ]
+    for query in queries:
+        assert (vec_store.count(index, query)
+                == legacy_store.count(index, query)), query
+    aggs = {
+        "per_syscall": {"terms": {"field": "syscall", "size": 20}},
+        "latency": {"stats": {"field": "duration_ns"}},
+        "p": {"percentiles": {"field": "duration_ns",
+                              "percents": [50, 95, 99]}},
+    }
+    lhs = legacy_store.search(index, size=0, aggs=aggs)["aggregations"]
+    rhs = vec_store.search(index, size=0, aggs=aggs)["aggregations"]
+    assert json.dumps(lhs, sort_keys=True) == json.dumps(rhs,
+                                                         sort_keys=True)
+    lhs_diag = diagnose_session(legacy_store, SESSION, index=index)
+    rhs_diag = diagnose_session(vec_store, SESSION, index=index)
+    assert (json.dumps(lhs_diag.as_dict(), sort_keys=True, default=str)
+            == json.dumps(rhs_diag.as_dict(), sort_keys=True,
+                          default=str))
+
+
+def _regression_gate(entry: dict) -> None:
+    """Fail on >20% throughput regression vs the best same-size run."""
+    from _baseline import load_trajectory
+
+    history = [e for e in load_trajectory(ARTIFACT)
+               if e.get("benchmark") == "vectorized_ingest"
+               and e.get("events") == entry["events"]]
+    if not history:
+        return
+    best = max(e["vectorized_events_per_s"] for e in history)
+    floor = 0.8 * best
+    assert entry["vectorized_events_per_s"] >= floor, (
+        f"vectorized ingest regressed: "
+        f"{entry['vectorized_events_per_s']:.0f} events/s vs "
+        f"baseline best {best:.0f} (floor {floor:.0f})")
+
+
+def test_ingest_trajectory():
+    records = _make_records(N_EVENTS)
+
+    vec_s, vec_store = _best_of(records, "vectorized")
+    legacy_s, legacy_store = _best_of(records, "legacy")
+    speedup = legacy_s / vec_s
+
+    _differential_gate(legacy_store, vec_store)
+
+    entry = {
+        "benchmark": "vectorized_ingest",
+        "events": N_EVENTS,
+        "rounds": ROUNDS,
+        "batch": BATCH,
+        "ncpus": NCPUS,
+        "legacy_s": round(legacy_s, 4),
+        "vectorized_s": round(vec_s, 4),
+        "legacy_events_per_s": round(N_EVENTS / legacy_s, 1),
+        "vectorized_events_per_s": round(N_EVENTS / vec_s, 1),
+        "speedup": round(speedup, 3),
+    }
+    _regression_gate(entry)
+
+    from _baseline import append_trajectory
+    append_trajectory(ARTIFACT, entry)
+
+    # The headline acceptance gate only binds at full scale: small
+    # smoke runs are dominated by fixed costs, not the per-event path.
+    if N_EVENTS >= 1_000_000:
+        assert speedup >= 5.0, entry
+    else:
+        assert speedup >= 1.0, entry

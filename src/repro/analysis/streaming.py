@@ -916,7 +916,10 @@ class DiagnosisTap:
 
     def observe_batch(self, docs: Iterable[dict]) -> None:
         if not isinstance(docs, (list, tuple)):
-            docs = list(docs)
+            # A columnar RecordBatch hands over its (memoised) doc
+            # list; any other iterable is materialised the hard way.
+            to_docs = getattr(docs, "to_docs", None)
+            docs = to_docs() if to_docs is not None else list(docs)
         self.events_observed += len(docs)
         for detector in self._direct:
             detector.observe_batch(docs)

@@ -37,7 +37,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left
 from collections import Counter
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.backend.aggregations import percentile
 from repro.backend.query import get_field
@@ -128,6 +128,11 @@ class Column:
         if self.nums is not None:
             self.nums.append(0)
         self.set(len(self.codes) - 1, value)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Append one row per value (bulk twin of :meth:`append`)."""
+        for value in values:
+            self.append(value)
 
     def grow_to(self, n_rows: int) -> None:
         """Extend with missing rows up to ``n_rows`` (bulk build)."""
@@ -326,6 +331,23 @@ class ColumnSet:
         else:
             for field, column in self._columns.items():
                 column.set(row, get_field(source, field))
+
+    def extend_new(self, doc_ids: list[str],
+                   values_for: Callable[[str], list]) -> None:
+        """Lane-append brand-new documents (vectorized bulk path).
+
+        ``doc_ids`` must be unseen: the row mapping extends with zipped
+        C-speed bulk operations instead of one ``note_put`` per doc.
+        ``values_for(field)`` supplies one value per new document for
+        any column that already exists (usually none during ingest —
+        columns are built lazily on the first aggregation).
+        """
+        base = len(self._doc_ids)
+        self._doc_ids.extend(doc_ids)
+        self._alive.extend(b"\x01" * len(doc_ids))
+        self._row_of.update(zip(doc_ids, range(base, base + len(doc_ids))))
+        for field, column in self._columns.items():
+            column.extend(values_for(field))
 
     def note_delete(self, doc_id: str) -> None:
         row = self._row_of.pop(doc_id, None)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
+from itertools import repeat
 from operator import itemgetter
 from typing import Any, Iterable, Optional
 
@@ -99,6 +100,93 @@ class FieldIndex:
             self._value_of[doc_id] = value
             if _is_orderable(value):
                 self._dirty = True
+
+    def extend_new(self, doc_ids: list[str], values: list) -> None:
+        """Bulk-index brand-new documents (vectorized ingest path).
+
+        ``doc_ids`` must be ids this index has never seen: that lets
+        the loop skip the delta bookkeeping ``update`` pays per call
+        (old-value lookup, equality short-circuit, drop) while landing
+        in exactly the same postings/present/sorted-partition state as
+        one ``update`` per document would.
+        """
+        present_add = self.present.add
+        postings = self.postings
+        postings_get = postings.get
+        value_of = self._value_of
+        dirty = False
+        for doc_id, value in zip(doc_ids, values):
+            if value is None:
+                continue
+            present_add(doc_id)
+            if not isinstance(value, (str, int, float, tuple)):
+                continue                      # bool is an int subclass
+            value_of[doc_id] = value
+            ids = postings_get(value)
+            if ids is None:
+                postings[value] = {doc_id}
+            else:
+                ids.add(doc_id)
+            if not dirty and _is_orderable(value):
+                dirty = True
+        if dirty:
+            self._dirty = True
+
+    def extend_new_dense(self, doc_ids: list[str], values: list) -> None:
+        """Bulk-index a dense scalar lane of brand-new documents.
+
+        The caller guarantees every value is a non-``None`` orderable
+        scalar (a packed numeric lane), so presence and value tracking
+        collapse to two C-speed bulk updates and the loop keeps only
+        the postings insert.
+        """
+        if not doc_ids:
+            return
+        self.present.update(doc_ids)
+        self._value_of.update(zip(doc_ids, values))
+        postings = self.postings
+        postings_get = postings.get
+        for doc_id, value in zip(doc_ids, values):
+            ids = postings_get(value)
+            if ids is None:
+                postings[value] = {doc_id}
+            else:
+                ids.add(doc_id)
+        self._dirty = True
+
+    def extend_new_grouped(self, doc_ids: list[str],
+                           grouped: Iterable[tuple[Any, Iterable[int]]],
+                           ) -> None:
+        """Bulk-index pre-grouped ``(value, rows)`` pairs for new docs.
+
+        The vectorized decoder groups low-cardinality lanes during
+        decode, so this path does one postings/presence dict operation
+        per *distinct value* instead of per document.  Group order is
+        first-seen order, matching the postings-key insertion order the
+        per-document path produces.
+        """
+        present_update = self.present.update
+        postings = self.postings
+        value_of = self._value_of
+        fetch = doc_ids.__getitem__
+        dirty = False
+        for value, rows in grouped:
+            if value is None:
+                continue
+            ids = list(map(fetch, rows))
+            present_update(ids)
+            if not is_indexable(value):
+                continue
+            existing = postings.get(value)
+            if existing is None:
+                postings[value] = set(ids)
+            else:
+                existing.update(ids)
+            value_of.update(zip(ids, repeat(value)))
+            if not dirty and _is_orderable(value):
+                dirty = True
+        if dirty:
+            self._dirty = True
 
     def remove(self, doc_id: str) -> None:
         """Forget a document entirely."""

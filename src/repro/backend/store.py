@@ -94,9 +94,125 @@ class Index:
         #: what keys cached aggregation results out of existence.
         self.epoch = 0
         self._agg_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        #: Vectorized bulk appends whose ``_source`` dicts have not been
+        #: materialised yet: ``(doc_ids, RecordBatch)`` pairs, hydrated
+        #: into ``_docs`` the first time any reader needs sources.
+        self._pending: list[tuple[list[str], Any]] = []
+        self._pending_count = 0
+        #: Documents lazily materialised so far (telemetry).
+        self.hydrated_docs_total = 0
+        #: Field-index work deferred by the vectorized bulk path:
+        #: ``(doc_ids, RecordBatch)`` pairs not yet replayed into every
+        #: :class:`FieldIndex`.  ``_lane_pos`` records how much of the
+        #: backlog each field has consumed; a field catches up the
+        #: first time a query (or any per-document mutation) needs it —
+        #: the same bulk-load-then-query amortisation the sorted
+        #: partitions already use.
+        self._lane_backlog: list[tuple[list[str], Any]] = []
+        self._lane_pos: dict[str, int] = {}
 
     def __len__(self) -> int:
-        return len(self._docs)
+        return len(self._docs) + self._pending_count
+
+    # ------------------------------------------------------------------
+    # Lazy hydration (vectorized bulk path)
+
+    @property
+    def pending_docs(self) -> int:
+        """Documents appended lane-wise but not yet materialised."""
+        return self._pending_count
+
+    def _hydrate(self) -> None:
+        """Materialise every pending batch's ``_source`` dicts.
+
+        Called by any code path that reads or mutates ``_docs``.  The
+        batches were appended in insertion order and ``put`` hydrates
+        before inserting, so ``_docs`` iteration order always matches
+        insertion rank afterwards.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._pending_count = 0
+        docs = self._docs
+        count = 0
+        for doc_ids, batch in pending:
+            for doc_id, source in zip(doc_ids, batch.to_docs()):
+                docs[doc_id] = source
+            count += len(doc_ids)
+        self.hydrated_docs_total += count
+
+    def docs_view(self) -> "_DocsView":
+        """A mapping facade over the documents that hydrates on demand.
+
+        Handed to :meth:`ColumnSet.supports`: probing *existing*
+        columns never touches documents, so the common aggregation
+        path stays hydration-free; only a first-time column build
+        (``ensure_column`` iterating ``items()``) forces sources into
+        existence.
+        """
+        return _DocsView(self)
+
+    def bulk_append(self, batch) -> int:
+        """Append one decoded :class:`RecordBatch` of brand-new docs.
+
+        The vectorized twin of ``put`` in a loop: ids and ranks are
+        assigned in one pass and neither the source dicts nor the
+        secondary-index entries are built yet — the batch is parked on
+        the pending list until a reader needs sources, and on the lane
+        backlog until a query (or mutation) needs a given field's
+        index, which then ingests whole lanes at once (pre-grouped
+        where the batch has groups).  State after this call plus
+        :meth:`_hydrate` and :meth:`_flush_all_lanes` is identical to
+        ``len(batch)`` sequential ``put`` calls.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        start = self._next_id
+        self._next_id = start + n
+        doc_ids = list(map(str, range(start, start + n)))
+        rank = self._next_rank
+        self._rank.update(zip(doc_ids, range(rank, rank + n)))
+        self._next_rank = rank + n
+        self.epoch += n
+        if self._fields:
+            self._lane_backlog.append((doc_ids, batch))
+        if self.agg_mode == "columnar":
+            self.columns.extend_new(doc_ids, batch.values_for)
+        self._pending.append((doc_ids, batch))
+        self._pending_count += n
+        return n
+
+    def _flush_lanes(self, field: str, findex: FieldIndex) -> None:
+        """Replay backlog entries ``field``'s index has not consumed."""
+        backlog = self._lane_backlog
+        pos = self._lane_pos.get(field, 0)
+        if pos >= len(backlog):
+            return
+        for doc_ids, batch in backlog[pos:]:
+            grouped = batch.groups_for(field)
+            if grouped is not None:
+                findex.extend_new_grouped(doc_ids, grouped)
+            elif batch.dense_int(field):
+                findex.extend_new_dense(doc_ids, batch.values_for(field))
+            else:
+                findex.extend_new(doc_ids, batch.values_for(field))
+        self._lane_pos[field] = len(backlog)
+
+    def _flush_all_lanes(self) -> None:
+        """Barrier before any per-document index mutation.
+
+        ``update``/``remove`` need every field index current (they
+        delta against the indexed value), so mutations replay the
+        whole backlog; afterwards it can be dropped.
+        """
+        if not self._lane_backlog:
+            return
+        for field, findex in self._fields.items():
+            self._flush_lanes(field, findex)
+        self._lane_backlog.clear()
+        self._lane_pos.clear()
 
     # ------------------------------------------------------------------
     # Write path
@@ -129,6 +245,9 @@ class Index:
         """
         if not isinstance(source, dict):
             raise StoreError(f"document source must be a dict: {source!r}")
+        self._hydrate()                    # keep _docs in insertion order
+        if self._lane_backlog:
+            self._flush_all_lanes()        # updates delta against indexes
         if doc_id is None:
             doc_id = self._generate_id()
         else:
@@ -150,6 +269,9 @@ class Index:
 
     def delete(self, doc_id: str) -> bool:
         """Delete by id; returns ``False`` if absent."""
+        self._hydrate()
+        if self._lane_backlog:
+            self._flush_all_lanes()
         source = self._docs.pop(doc_id, None)
         if source is None:
             return False
@@ -163,20 +285,34 @@ class Index:
 
     def get(self, doc_id: str) -> Optional[dict]:
         """Fetch a document source by id."""
+        if self._pending:
+            self._hydrate()
         return self._docs.get(doc_id)
 
     def documents(self) -> Iterator[tuple[str, dict]]:
         """All (id, source) pairs in insertion order."""
+        self._hydrate()
         return iter(self._docs.items())
 
     def ensure_indexed(self, field: str) -> FieldIndex:
-        """Build (or fetch) the secondary index for ``field``."""
+        """Build (or fetch) the secondary index for ``field``.
+
+        This is the planner's field resolver, so it doubles as the
+        lane-backlog flush point: a query touching ``field`` pays for
+        that field's staged batches, and only those.
+        """
         index = self._fields.get(field)
         if index is None:
+            self._hydrate()
             index = FieldIndex(field)
             for doc_id, source in self._docs.items():
                 index.update(doc_id, get_field(source, field))
             self._fields[field] = index
+            # Built from the hydrated doc table, so it has already
+            # seen every staged batch.
+            self._lane_pos[field] = len(self._lane_backlog)
+        elif self._lane_backlog:
+            self._flush_lanes(field, index)
         return index
 
     def _affected_fields(self,
@@ -199,6 +335,9 @@ class Index:
         ``fields`` narrows the work to indexes that can actually have
         changed (e.g. the correlator only ever sets ``file_path``).
         """
+        self._hydrate()
+        if self._lane_backlog:
+            self._flush_all_lanes()
         if self.plan_mode != "planner":
             for doc_id in doc_ids:
                 source = self._docs.get(doc_id)
@@ -236,6 +375,7 @@ class Index:
         predicate = compile_query(query)   # validates even on exact plans
         if plan is None:
             plan = self.plan(query)
+        self._hydrate()
         docs = self._docs
         if plan.ids is None:
             if plan.exact:
@@ -259,6 +399,7 @@ class Index:
         predicate = compile_query(query)
         if plan is None:
             plan = self.plan(query)
+        self._hydrate()
         docs = self._docs
         if plan.ids is None:
             if plan.exact:
@@ -282,8 +423,10 @@ class Index:
         if plan is None:
             plan = self.plan(query)
         if plan.exact:
-            return len(self._docs) if plan.ids is None else len(plan.ids)
+            # Pending batches count without being materialised.
+            return len(self) if plan.ids is None else len(plan.ids)
         predicate = compile_query(query)
+        self._hydrate()
         if plan.ids is None:
             return sum(1 for source in self._docs.values()
                        if predicate(source))
@@ -307,6 +450,7 @@ class Index:
             if plan.exact:
                 rows = columns.all_rows()
                 return rows, len(rows)
+            self._hydrate()
             row_of = columns.row_of
             rows = [row_of[doc_id] for doc_id, source in self._docs.items()
                     if predicate(source)]
@@ -314,6 +458,7 @@ class Index:
         if plan.exact:
             rows = columns.rows_for_ids(plan.ids)
             return rows, len(rows)
+        self._hydrate()
         docs = self._docs
         row_of = columns.row_of
         rows = sorted(row_of[doc_id] for doc_id in plan.ids
@@ -355,6 +500,52 @@ class Index:
             self._agg_cache.popitem(last=False)
 
 
+class _DocsView:
+    """A lazily-hydrating mapping facade over an :class:`Index`'s docs.
+
+    Sizing (``len``) answers from counters without materialising
+    anything; any access that needs actual sources (``items`` et al.)
+    hydrates first.  This is what the aggregation pushdown probe reads,
+    so probing already-built columns stays free of ``_source`` dicts.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "Index") -> None:
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self):
+        self._index._hydrate()
+        return iter(self._index._docs)
+
+    def __getitem__(self, doc_id: str) -> dict:
+        self._index._hydrate()
+        return self._index._docs[doc_id]
+
+    def __contains__(self, doc_id: str) -> bool:
+        self._index._hydrate()
+        return doc_id in self._index._docs
+
+    def get(self, doc_id: str, default=None):
+        self._index._hydrate()
+        return self._index._docs.get(doc_id, default)
+
+    def keys(self):
+        self._index._hydrate()
+        return self._index._docs.keys()
+
+    def values(self):
+        self._index._hydrate()
+        return self._index._docs.values()
+
+    def items(self):
+        self._index._hydrate()
+        return self._index._docs.items()
+
+
 class DocumentStore:
     """A collection of named indices — the in-process "Elasticsearch"."""
 
@@ -371,6 +562,8 @@ class DocumentStore:
         self._indices: dict[str, Index] = {}
         self.bulk_requests = 0
         self.documents_indexed = 0
+        #: Bulk requests served by the vectorized lane path.
+        self.columnar_bulks = 0
         self.queries = 0
         #: Query-planner decisions, by plan mode.
         self.plan_counts = {"exact": 0, "pruned": 0, "fullscan": 0}
@@ -411,6 +604,23 @@ class DocumentStore:
             "dio_store_queries_total",
             "Search and count requests served.",
         ).set_function(lambda: self.queries)
+        registry.counter(
+            "dio_ingest_columnar_bulks_total",
+            "Bulk requests ingested lane-wise by bulk_columnar "
+            "(no per-event _source materialisation).",
+        ).set_function(lambda: self.columnar_bulks)
+        registry.counter(
+            "dio_ingest_docs_hydrated_total",
+            "Vectorized-ingested documents whose _source dicts were "
+            "lazily materialised because a reader asked for them.",
+        ).set_function(lambda: sum(
+            index.hydrated_docs_total for index in self._indices.values()))
+        registry.gauge(
+            "dio_ingest_pending_docs",
+            "Vectorized-ingested documents currently awaiting lazy "
+            "_source materialisation.",
+        ).set_function(lambda: sum(
+            index.pending_docs for index in self._indices.values()))
         for mode in ("exact", "pruned", "fullscan"):
             registry.counter(
                 f"dio_store_plan_{mode}_total",
@@ -587,6 +797,26 @@ class DocumentStore:
             self._observe_span("store.bulk", start)
         return count
 
+    def bulk_columnar(self, index: str, batch) -> int:
+        """Bulk-index one decoded :class:`~repro.tracer.batch.RecordBatch`.
+
+        The vectorized ingest endpoint: whole lanes land in the doc
+        table, field indexes, and columns in one pass — no per-event
+        ``_source`` dict exists until a query asks for one.  Counter
+        and span semantics match :meth:`bulk` exactly, so either path
+        satisfies the same telemetry invariants.
+        """
+        start = self._span_start()
+        target = self.ensure_index(index)
+        count = target.bulk_append(batch)
+        self.bulk_requests += 1
+        self.columnar_bulks += 1
+        self.documents_indexed += count
+        if self._telemetry is not None:
+            self._telemetry["bulk_docs"].observe(count)
+            self._observe_span("store.bulk", start)
+        return count
+
     # ------------------------------------------------------------------
     # Search
 
@@ -675,7 +905,7 @@ class DocumentStore:
         plan = self._plan(target, query)
         pushdown = (aggs is not None and aggregations is None and not sort
                     and target.agg_mode == "columnar"
-                    and target.columns.supports(aggs, target._docs))
+                    and target.columns.supports(aggs, target.docs_view()))
 
         matches = window = None
         if size == 0 and not sort:

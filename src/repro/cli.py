@@ -487,6 +487,10 @@ def _cmd_dst_repro(args) -> int:
         print(f"dst: replaying scenario file {args.scenario}")
     else:
         scenario = generate(args.seed)
+    if args.ingest_mode:
+        import dataclasses
+        scenario = dataclasses.replace(scenario,
+                                       ingest_mode=args.ingest_mode)
     print(f"dst: {scenario.describe()}")
     result = run_scenario(scenario)
     if result.ok:
@@ -686,6 +690,11 @@ def main(argv: list[str] | None = None) -> int:
                              help="minimise the scenario if it fails")
     p_dst_repro.add_argument("--shrink-budget", type=int, default=64,
                              help="max harness runs while shrinking")
+    p_dst_repro.add_argument("--ingest-mode",
+                             choices=("vectorized", "legacy"),
+                             help="override the scenario's ingest axis "
+                                  "(e.g. to bisect a vectorized-only "
+                                  "failure)")
     p_dst_repro.add_argument("--save", metavar="PATH",
                              help="write the shrunk scenario to PATH")
     p_dst_repro.set_defaults(func=_cmd_dst_repro)

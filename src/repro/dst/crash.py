@@ -90,8 +90,28 @@ class CrashingStore:
 
     def bulk(self, index: str, sources, nominal_ns: int = 0) -> int:
         self._bulk_calls += 1
-        line = json.dumps({"index": index, "docs": list(sources)},
-                          separators=(",", ":"), sort_keys=True)
+        self._accept_bulk(json.dumps({"index": index, "docs": list(sources)},
+                                     separators=(",", ":"), sort_keys=True))
+        return self.inner.bulk(index, sources)
+
+    def bulk_columnar(self, index: str, batch, nominal_ns: int = 0) -> int:
+        """Vectorized bulk: journaled (and crashed) like any other.
+
+        Shares the bulk ordinal counter with :meth:`bulk`, so a crash
+        scheduled "after k bulks" fires at the same point whichever
+        ingest mode the consumer runs — what lets the legacy twin act
+        as the oracle for crash scenarios.  The journal line needs
+        JSON-able docs, so the batch materialises here; that is the
+        durability contract's price, not the ingest path's.
+        """
+        self._bulk_calls += 1
+        self._accept_bulk(json.dumps(
+            {"index": index, "docs": batch.to_docs()},
+            separators=(",", ":"), sort_keys=True))
+        return self.inner.bulk_columnar(index, batch)
+
+    def _accept_bulk(self, line: str) -> None:
+        """Crash if this bulk is the scheduled one; journal it otherwise."""
         if self._crash_at and self._bulk_calls == self._crash_at[0][0]:
             _, torn_frac = self._crash_at.pop(0)
             self._crash(line, torn_frac)
@@ -99,7 +119,6 @@ class CrashingStore:
                                 cost_ns=self.recovery_cost_ns)
         self._journal.append(line)
         self.journal_records_total += 1
-        return self.inner.bulk(index, sources)
 
     # ------------------------------------------------------------------
     # Crash + recovery

@@ -216,8 +216,14 @@ class PipelineRun:
 
 def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
                      agg_mode: str = "columnar",
-                     fast_correlator: bool = True) -> PipelineRun:
-    """Run the whole pipeline once for ``scenario``."""
+                     fast_correlator: bool = True,
+                     ingest_mode: Optional[str] = None) -> PipelineRun:
+    """Run the whole pipeline once for ``scenario``.
+
+    ``ingest_mode`` overrides the scenario's axis — the oracle twin
+    forces ``"legacy"`` so vectorized ingest is differentially checked
+    against the per-event path on every seed.
+    """
     env = Environment()
     kernel = Kernel(env, ncpus=scenario.ncpus)
     session = f"dst-{scenario.seed}"
@@ -264,6 +270,7 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
         backpressure_policy=scenario.backpressure_policy,
         resilience_seed=scenario.seed,
         correlate_on_stop=fast_correlator,
+        ingest_mode=ingest_mode or scenario.ingest_mode,
     )
     tracer = DIOTracer(env, kernel, faulty, config)
     tracer.attach()
@@ -508,7 +515,8 @@ def run_scenario(scenario: Scenario, *, check_determinism: bool = True,
     if check_oracle:
         oracle = execute_pipeline(scenario, plan_mode="legacy",
                                   agg_mode="legacy",
-                                  fast_correlator=False)
+                                  fast_correlator=False,
+                                  ingest_mode="legacy")
         failures += differential.compare_twin_runs(
             fast.docs, oracle.docs, fast.report, oracle.report)
 

@@ -88,6 +88,11 @@ class Scenario:
     max_inflight_events: int = 256
     poll_interval_ns: int = 200_000
     ship_max_retries: int = 3
+    #: Consumer ingest path: "vectorized" (lane decode + bulk_columnar,
+    #: the production default) or "legacy" (per-event Event/dict, the
+    #: differential oracle).  Corpus files predating this axis default
+    #: to the production path.
+    ingest_mode: str = "vectorized"
     #: FaultWindow dicts (``start_ns``/``end_ns``/``kind``/...).
     fault_windows: list = dataclasses.field(default_factory=list)
     #: Virtual times at which the consumer process is killed.
@@ -153,7 +158,8 @@ class Scenario:
                 f"ops={self.total_ops} ncpus={self.ncpus} "
                 f"ring={self.ring_policy} faults={len(self.fault_windows)} "
                 f"ckills={len(self.consumer_crashes)} "
-                f"scrashes={len(self.store_crashes)}")
+                f"scrashes={len(self.store_crashes)} "
+                f"ingest={self.ingest_mode}")
 
 
 # ----------------------------------------------------------------------
@@ -382,6 +388,12 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
                 "torn_frac": round(rng.uniform(0.05, 0.95), 3),
             })
 
+    # Drawn from a separate derived rng so adding this axis kept every
+    # existing seed's other draws (and thus every corpus scenario)
+    # byte-identical.  Weighted toward the production path; the legacy
+    # twin still runs as the oracle either way.
+    ingest_rng = random.Random(f"dio-dst-ingest-{seed}")
+
     return Scenario(
         seed=seed,
         ncpus=rng.randrange(1, 4),
@@ -398,5 +410,7 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
         consumer_restart_delay_ns=rng.choice((500_000, 1_500_000,
                                               4_000_000)),
         store_crashes=store_crashes,
+        ingest_mode=ingest_rng.choice(("vectorized", "vectorized",
+                                       "legacy")),
         processes=processes,
     )

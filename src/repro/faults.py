@@ -293,6 +293,17 @@ class FaultyStore:
             self._check(nominal_ns)
         return self.inner.bulk(index, sources)
 
+    def bulk_columnar(self, index: str, batch, nominal_ns: int = 0) -> int:
+        """Vectorized bulk through the plan (same gate as ``bulk``).
+
+        Explicitly intercepted: ``__getattr__`` delegation would let
+        RecordBatch bulks bypass the fault windows entirely, making
+        the vectorized path untestable under faults.
+        """
+        if "bulk" in self.protected:
+            self._check(nominal_ns)
+        return self.inner.bulk_columnar(index, batch)
+
     def index_doc(self, index: str, source: dict,
                   doc_id: Optional[str] = None) -> str:
         """Single-document put through the plan."""

@@ -34,6 +34,12 @@ _SECTIONS = (
      "staging, backpressure, and backoff."),
     ("dio_shipper_", "Shipper",
      "Bulk requests from the consumer to the backend."),
+    ("dio_ingest_", "Vectorized ingest",
+     "The columnar bulk-ingest path: ring batches decoded straight "
+     "into RecordBatch lanes and appended via ``bulk_columnar`` with "
+     "lazily materialised ``_source`` dicts.  ``ingest_mode=legacy`` "
+     "routes through the per-event path instead (the differential "
+     "oracle)."),
     ("dio_breaker_", "Circuit breaker",
      "Protects a degraded backend from retry storms; state 0=closed, "
      "1=half-open, 2=open."),

@@ -18,7 +18,8 @@ Public entry points:
 - :class:`~repro.tracer.events.Event` — the parsed JSON event model.
 """
 
-from repro.tracer.config import TracerConfig
+from repro.tracer.batch import RecordBatch
+from repro.tracer.config import INGEST_MODES, TracerConfig
 from repro.tracer.events import Event, estimate_record_size
 from repro.tracer.filters import KernelFilter
 from repro.tracer.enrichment import Enricher
@@ -30,6 +31,8 @@ from repro.tracer.replay import ReplayReport, TraceReplayer
 
 __all__ = [
     "TracerConfig",
+    "INGEST_MODES",
+    "RecordBatch",
     "Event",
     "estimate_record_size",
     "KernelFilter",

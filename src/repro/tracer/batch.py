@@ -1,0 +1,286 @@
+"""Columnar decode of ring-buffer record batches (vectorized ingest).
+
+The legacy consumer path materialises one ``Event`` plus one ``dict``
+per record before anything reaches the backend — at 1M events that is
+2M short-lived Python objects on the hot path.  :class:`RecordBatch`
+instead decodes a whole ring-buffer batch into *lanes*:
+
+- dictionary-coded lanes for the low-cardinality string/int fields
+  (``syscall``, ``proc_name``, ``pid``, ``tid``, ``file_type``,
+  ``file_tag``): an ``array('i')`` of codes plus a value table, with
+  per-code row positions collected during encode so field indexes can
+  ingest whole groups at once;
+- ``array('q')`` numeric lanes for ``ret`` and the two timestamps;
+- zero-copy references to the raw ``args`` dicts — argument
+  sanitisation is deferred until a query actually asks for ``args``
+  (the backend's default indexed fields never do).
+
+``to_docs()`` materialises the exact documents the legacy path would
+have produced — same key order, same sparsity, same value objects —
+and memoises them, so the lazy path is byte-identical whenever it is
+actually observed.  The lanes degrade gracefully: any value whose
+class is not safe for the fast representation falls back to a plain
+list lane with identical semantics.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import repeat
+from typing import Any, Callable, Iterator, Optional
+
+from repro.tracer.events import _sanitize_args
+
+
+#: Value classes safe to group by identity of *value*: no cross-type
+#: equality surprises (``bool``/``float`` compare equal to ``int``, so
+#: grouping them could merge rows the legacy path keeps distinct-typed).
+_GROUP_SAFE = frozenset((str, int, type(None)))
+
+
+class _DictLane:
+    """A dictionary-grouped lane: row positions per distinct value.
+
+    The original per-row value list is kept verbatim (it already
+    exists from the decode comprehension, so grouping is pure gain);
+    the eager work is one dict-grouping pass that lets downstream
+    consumers (field indexes) append a whole value-group per dict
+    operation instead of one row at a time.  ``None`` rows appear in
+    no group.
+    """
+
+    __slots__ = ("_values", "_groups")
+
+    def __init__(self, values: list) -> None:
+        groups: dict = {}
+        for i, value in enumerate(values):
+            try:
+                groups[value].append(i)
+            except KeyError:
+                groups[value] = [i]
+        groups.pop(None, None)
+        self._values = values
+        self._groups = groups
+
+    def values(self) -> list:
+        """One value per row — the decode-time list, untouched."""
+        return self._values
+
+    def grouped(self) -> list[tuple[Any, list[int]]]:
+        """``(value, rows)`` pairs in first-seen order."""
+        return list(self._groups.items())
+
+
+def _make_lane(values: list):
+    """Dictionary-group a lane when safe; otherwise keep the raw list.
+
+    Only exact ``str``/``int`` values are grouped: ``bool`` and
+    ``float`` compare equal across types (``True == 1``, ``1.0 == 1``),
+    so grouping them could merge rows the legacy path treats as
+    distinct and break the byte-identity contract.  The class check is
+    one C-speed pass (``set(map(type, ...))``), not a per-row branch.
+    """
+    if set(map(type, values)) <= _GROUP_SAFE:
+        return _DictLane(values)
+    return values
+
+
+def _num_lane(values: list):
+    """Pack an all-``int`` lane into ``array('q')``; else keep the list."""
+    if set(map(type, values)) == {int}:
+        try:
+            return array("q", values)
+        except OverflowError:
+            pass
+    return values
+
+
+def _lane_values(lane) -> list:
+    """One Python value per row, whatever the lane representation."""
+    if type(lane) is _DictLane:
+        return lane.values()
+    if type(lane) is array:
+        return lane.tolist()
+    return lane
+
+
+class RecordBatch:
+    """One ring-buffer batch decoded into columnar lanes.
+
+    Build with :meth:`decode`; ``len()`` is the record count.  The
+    batch iterates as the documents the legacy path would have built,
+    so existing batch consumers (``DiagnosisTap``, spill WALs) can
+    treat it as a document sequence when they must.
+    """
+
+    __slots__ = ("session", "_n", "_syscall", "_proc", "_pid", "_tid",
+                 "_file_type", "_file_tag", "_ret", "_time", "_time_exit",
+                 "_offset", "_raw_args", "_args", "_docs", "_cache")
+
+    #: Lanes that can serve pre-grouped ``(value, rows)`` pairs.
+    _GROUPABLE = ("syscall", "proc_name", "pid", "tid", "file_type",
+                  "file_tag")
+
+    @classmethod
+    def decode(cls, records: list[dict], session: str = "") -> "RecordBatch":
+        """Decode raw ring records (the consumer's ``_take_batch`` output).
+
+        One C-speed pass per lane instead of one Python ``Event`` per
+        record.  The raw ``args`` dicts are referenced, not copied or
+        sanitised — that work is deferred to first use.
+        """
+        self = cls.__new__(cls)
+        self.session = session
+        self._n = len(records)
+        self._syscall = _make_lane([r["syscall"] for r in records])
+        self._proc = _make_lane([r["comm"] for r in records])
+        self._pid = _make_lane([r["pid"] for r in records])
+        self._tid = _make_lane([r["tid"] for r in records])
+        self._file_type = _make_lane([r.get("file_type") for r in records])
+        self._file_tag = _make_lane([r.get("file_tag") for r in records])
+        self._ret = _num_lane([r["ret"] for r in records])
+        self._time = _num_lane([r["enter_ns"] for r in records])
+        self._time_exit = _num_lane([r["exit_ns"] for r in records])
+        self._offset = [r.get("offset") for r in records]
+        self._raw_args = [r["args"] for r in records]
+        self._args = None
+        self._docs = None
+        self._cache = {}
+        return self
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.to_docs())
+
+    def args(self) -> list[dict]:
+        """Sanitised argument dicts, one per row (memoised)."""
+        if self._args is None:
+            self._args = [_sanitize_args(raw) for raw in self._raw_args]
+        return self._args
+
+    def _lane_for(self, field: str):
+        if field == "syscall":
+            return self._syscall
+        if field == "proc_name":
+            return self._proc
+        if field == "pid":
+            return self._pid
+        if field == "tid":
+            return self._tid
+        if field == "file_type":
+            return self._file_type
+        if field == "file_tag":
+            return self._file_tag
+        return None
+
+    def groups_for(self, field: str):
+        """Pre-grouped ``(value, rows)`` pairs, or ``None``.
+
+        ``None`` means the field has no grouped representation (high
+        cardinality, exotic value types, or a computed field) and the
+        caller should fall back to :meth:`values_for`.
+        """
+        if field == "session":
+            return [(self.session, range(self._n))]
+        lane = self._lane_for(field)
+        if type(lane) is _DictLane:
+            return lane.grouped()
+        return None
+
+    def dense_int(self, field: str) -> bool:
+        """True when every row of ``field`` is a non-``None`` exact int.
+
+        Lets index ingest skip per-row ``None``/indexability checks for
+        packed numeric lanes (``array('q')`` proves the invariant).
+        """
+        if field == "ret":
+            return type(self._ret) is array
+        if field == "time":
+            return type(self._time) is array
+        if field == "time_exit":
+            return type(self._time_exit) is array
+        if field == "duration_ns":
+            return (type(self._time) is array
+                    and type(self._time_exit) is array)
+        return False
+
+    def values_for(self, field: str) -> list:
+        """One value per row for ``field``, exactly as ``get_field``
+        would read it off the legacy documents (memoised)."""
+        cached = self._cache.get(field)
+        if cached is not None:
+            return cached
+        lane = self._lane_for(field)
+        if lane is not None:
+            out = _lane_values(lane)
+        elif field == "ret":
+            out = _lane_values(self._ret)
+        elif field == "time":
+            out = _lane_values(self._time)
+        elif field == "time_exit":
+            out = _lane_values(self._time_exit)
+        elif field == "duration_ns":
+            out = [exit_ns - enter_ns for enter_ns, exit_ns
+                   in zip(_lane_values(self._time),
+                          _lane_values(self._time_exit))]
+        elif field == "offset":
+            out = self._offset
+        elif field == "session":
+            out = [self.session] * self._n
+        elif field == "args":
+            out = self.args()
+        elif field == "file_path":
+            out = [None] * self._n
+        elif field.startswith("args."):
+            from repro.backend.query import get_field
+            out = [get_field({"args": arg}, field) for arg in self.args()]
+        else:
+            from repro.backend.query import get_field
+            out = [get_field(doc, field) for doc in self.to_docs()]
+        self._cache[field] = out
+        return out
+
+    def to_docs(self) -> list[dict]:
+        """Materialise the legacy documents for this batch (memoised).
+
+        Key order and sparsity replicate ``Event.to_doc`` exactly:
+        syscall, args, ret, pid, tid, proc_name, time, time_exit,
+        duration_ns, session, then file_type/offset/file_tag only when
+        present (``file_path`` is never set at parse time).
+        """
+        if self._docs is not None:
+            return self._docs
+        session = self.session
+        docs = []
+        append = docs.append
+        rows = zip(_lane_values(self._syscall), self.args(),
+                   _lane_values(self._ret), _lane_values(self._pid),
+                   _lane_values(self._tid), _lane_values(self._proc),
+                   _lane_values(self._time), _lane_values(self._time_exit),
+                   self._offset, _lane_values(self._file_type),
+                   _lane_values(self._file_tag))
+        for (syscall, args, ret, pid, tid, proc, enter_ns, exit_ns,
+             offset, file_type, file_tag) in rows:
+            doc = {
+                "syscall": syscall,
+                "args": args,
+                "ret": ret,
+                "pid": pid,
+                "tid": tid,
+                "proc_name": proc,
+                "time": enter_ns,
+                "time_exit": exit_ns,
+                "duration_ns": exit_ns - enter_ns,
+                "session": session,
+            }
+            if file_type is not None:
+                doc["file_type"] = file_type
+            if offset is not None:
+                doc["offset"] = offset
+            if file_tag is not None:
+                doc["file_tag"] = file_tag
+            append(doc)
+        self._docs = docs
+        return docs

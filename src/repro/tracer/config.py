@@ -14,6 +14,12 @@ from typing import Optional
 
 from repro.kernel.syscalls import SYSCALLS
 
+#: Supported consumer ingest paths: "vectorized" decodes ring batches
+#: into columnar RecordBatch lanes shipped via ``bulk_columnar``;
+#: "legacy" materialises one Event + doc dict per record (the
+#: differential oracle, same pattern as plan_mode/agg_mode).
+INGEST_MODES = ("vectorized", "legacy")
+
 
 @dataclasses.dataclass
 class TracerConfig:
@@ -46,6 +52,10 @@ class TracerConfig:
     # -- user-space consumer / shipper ----------------------------------
     #: Events per bulk request to the backend.
     batch_size: int = 512
+    #: How the consumer turns raw ring records into indexed documents:
+    #: "vectorized" (columnar RecordBatch lanes, lazy _source dicts)
+    #: or "legacy" (per-event Event + dict, the differential oracle).
+    ingest_mode: str = "vectorized"
     #: Consumer poll interval when the ring buffers are empty (ns).
     poll_interval_ns: int = 200_000
     #: User-space cost to parse one raw record into a JSON event (ns).
@@ -124,6 +134,10 @@ class TracerConfig:
             raise ValueError(f"unknown ring policy {self.ring_policy!r}")
         if self.batch_size <= 0:
             raise ValueError("batch size must be positive")
+        if self.ingest_mode not in INGEST_MODES:
+            raise ValueError(
+                f"unknown ingest mode {self.ingest_mode!r};"
+                " pick 'vectorized' or 'legacy'")
         if self.ship_retry_backoff_ns <= 0:
             raise ValueError("retry backoff base must be positive")
         if self.backoff_cap_ns < self.ship_retry_backoff_ns:
@@ -198,6 +212,8 @@ class TracerConfig:
             kwargs["index"] = backend["index"]
         if "batch_size" in backend:
             kwargs["batch_size"] = int(backend["batch_size"])
+        if "ingest_mode" in backend:
+            kwargs["ingest_mode"] = str(backend["ingest_mode"])
         if "correlate_on_stop" in backend:
             kwargs["correlate_on_stop"] = bool(backend["correlate_on_stop"])
         telemetry = data.get("telemetry", {})

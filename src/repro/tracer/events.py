@@ -137,15 +137,24 @@ RECORD_BASE_BYTES = 128
 def estimate_record_size(syscall: str, args: dict[str, Any]) -> int:
     """Bytes a raw record occupies in the ring buffer.
 
-    Path strings travel with the record; buffer contents do not (only
-    their lengths), so record size is dominated by the fixed header.
+    Sized consistently with what ``_sanitize_args`` actually serializes:
+    path strings travel with the record; buffers and buffer lists
+    collapse to length/count ints; dict-valued out-parameters
+    (``statbuf``) are dropped entirely and cost nothing — however
+    deeply nested their contents are; exotic values travel as their
+    ``str()`` form.  Record size is otherwise dominated by the fixed
+    header.
     """
     size = RECORD_BASE_BYTES + len(syscall)
     for key, value in args.items():
         if isinstance(value, str):
             size += len(value) + 8
-        elif isinstance(value, (bytes, bytearray, list, dict)):
+        elif isinstance(value, (bytes, bytearray, list)):
+            size += 8                     # serialized as a length/count
+        elif isinstance(value, dict):
+            continue                      # dropped at serialization
+        elif isinstance(value, (int, float, bool)) or value is None:
             size += 8
         else:
-            size += 8
+            size += len(str(value)) + 8   # str()-serialized fallback
     return size

@@ -42,6 +42,7 @@ from repro.kernel.tracepoints import SyscallContext
 from repro.sim import Environment
 from repro.telemetry import Telemetry
 
+from repro.tracer.batch import RecordBatch
 from repro.tracer.config import TracerConfig
 from repro.tracer.enrichment import ENRICHMENT_COST_NS, Enricher
 from repro.tracer.events import Event, estimate_record_size
@@ -224,6 +225,18 @@ class DIOTracer:
             "dio_consumer_crash_lost_total",
             "Parsed events lost from user-space staging when the "
             "consumer process crashed before shipping them.")
+        # Ingest-path accounting.  The labelled child is resolved once
+        # here so the consumer pays a single counter add per batch —
+        # not a labels() lookup (let alone an add) per event.
+        self._m_ingest_batches = registry.counter(
+            "dio_ingest_batches_total",
+            "Ring-buffer batches decoded by the consumer, by ingest "
+            "path.", labelnames=("mode",)).labels(
+                mode=self.config.ingest_mode)
+        self._m_ingest_events = registry.counter(
+            "dio_ingest_events_total",
+            "Events decoded by the consumer, by ingest path.",
+            labelnames=("mode",)).labels(mode=self.config.ingest_mode)
 
         #: Resilience state of the shipping hop (see module docstring).
         self._backoff = DecorrelatedJitterBackoff(
@@ -244,6 +257,10 @@ class DIOTracer:
         #: keep the unchanged two-argument bulk API.
         self._store_fault_aware = callable(
             getattr(store, "consume_penalty_ns", None))
+        #: Whether the store offers the vectorized bulk endpoint; when
+        #: it does not, RecordBatch payloads degrade to dict bulks.
+        self._store_bulk_columnar = callable(
+            getattr(store, "bulk_columnar", None))
 
         registry.counter(
             "dio_consumer_backoff_waits_total",
@@ -454,7 +471,17 @@ class DIOTracer:
             session=self.config.session_name,
         )
 
-    def _bulk(self, docs: list, nominal_ns: int) -> None:
+    def _bulk(self, docs, nominal_ns: int) -> None:
+        if isinstance(docs, RecordBatch):
+            if not self._store_bulk_columnar:
+                docs = docs.to_docs()
+            elif self._store_fault_aware:
+                self.store.bulk_columnar(self.config.index, docs,
+                                         nominal_ns=nominal_ns)
+                return
+            else:
+                self.store.bulk_columnar(self.config.index, docs)
+                return
         if self._store_fault_aware:
             self.store.bulk(self.config.index, docs, nominal_ns=nominal_ns)
         else:
@@ -508,7 +535,11 @@ class DIOTracer:
                     write_ns = config.spill_write_ns_per_event * len(docs)
                     if write_ns:
                         yield self.env.timeout(write_ns)
-                    self._spill.append(docs, self.env.now)
+                    # The WAL needs JSON-able records: a RecordBatch
+                    # materialises its docs on the way down.
+                    payload = (docs.to_docs()
+                               if isinstance(docs, RecordBatch) else docs)
+                    self._spill.append(payload, self.env.now)
                     self._staged.popleft()
                     self._staged_events -= len(docs)
                 return
@@ -578,18 +609,29 @@ class DIOTracer:
             batch = batch[:keep]
             if not batch:
                 return True
+        vectorized = config.ingest_mode == "vectorized"
         with self.telemetry.span("consumer.batch"):
-            # Parse raw records into JSON events (user-space CPU).
+            # Parse raw records into the staged representation — lanes
+            # or per-event docs, same virtual CPU cost either way (the
+            # modes must interleave identically; wall-clock is where
+            # the vectorized path wins).
             with self.telemetry.span("consumer.parse"):
                 yield self.env.timeout(
                     config.parse_ns_per_event * len(batch))
-                events = [self._parse(record) for record in batch]
-            self._m_parsed.inc(len(events))
-            docs = [event.to_doc() for event in events]
+                if vectorized:
+                    payload = RecordBatch.decode(
+                        batch, session=config.session_name)
+                else:
+                    payload = [self._parse(record).to_doc()
+                               for record in batch]
+            count = len(payload)
+            self._m_parsed.inc(count)
+            self._m_ingest_batches.inc()
+            self._m_ingest_events.inc(count)
             if self.tap is not None:
-                self.tap.observe_batch(docs)
-            self._staged.append(_StagedBatch(docs))
-            self._staged_events += len(events)
+                self.tap.observe_batch(payload)
+            self._staged.append(_StagedBatch(payload))
+            self._staged_events += count
             if inline_ship:
                 now = self.env.now
                 if self._breaker.allows(now) and now >= self._next_attempt_ns:

@@ -120,9 +120,17 @@ def _sequential_writer_scenario() -> Scenario:
 
 @pytest.fixture()
 def _restore_bulk():
+    # Mutation tests patch ``DocumentStore.bulk`` with an injected bug.
+    # Route the vectorized endpoint through the (patched) dict path for
+    # the fixture's lifetime, so the bug fires whichever ingest_mode
+    # the scenario generator picked.
     real = DocumentStore.bulk
+    real_columnar = DocumentStore.bulk_columnar
+    DocumentStore.bulk_columnar = (
+        lambda self, index, batch: self.bulk(index, batch.to_docs()))
     yield real
     DocumentStore.bulk = real
+    DocumentStore.bulk_columnar = real_columnar
 
 
 def test_catches_store_dropping_documents(_restore_bulk):

@@ -9,19 +9,34 @@ from repro.tracer import DIOTracer, TracerConfig
 
 
 class FlakyStore(DocumentStore):
-    """A backend that fails the first N bulk requests."""
+    """A backend that fails the first N bulk requests.
+
+    Both bulk entry points count against the same budget, so the
+    injection is ingest-mode agnostic (the vectorized consumer ships
+    via ``bulk_columnar``, the legacy oracle via ``bulk``).
+    """
 
     def __init__(self, failures: int):
         super().__init__()
         self.failures_left = failures
         self.failed_requests = 0
 
-    def bulk(self, index, sources):
+    def _fail_next(self) -> bool:
         if self.failures_left > 0:
             self.failures_left -= 1
             self.failed_requests += 1
+            return True
+        return False
+
+    def bulk(self, index, sources):
+        if self._fail_next():
             raise ConnectionError("backend unavailable")
         return super().bulk(index, sources)
+
+    def bulk_columnar(self, index, batch):
+        if self._fail_next():
+            raise ConnectionError("backend unavailable")
+        return super().bulk_columnar(index, batch)
 
 
 def writer_workload(kernel, task, writes=50):

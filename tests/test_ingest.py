@@ -1,0 +1,436 @@
+"""Vectorized ingest: RecordBatch lanes, bulk_columnar, lazy hydration.
+
+The fast path's contract is *byte-identity with the legacy path
+whenever it is observed*: documents a query returns, index structures,
+counters, and diagnosis output must all match what per-event ``Event``
+materialisation would have produced.  These are the unit-level checks;
+``tests/test_ingest_differential.py`` generalises them with Hypothesis
+and the DST harness runs the legacy twin as an oracle on every seed.
+"""
+
+import json
+
+import pytest
+
+from repro.backend import DocumentStore
+from repro.kernel import Kernel, O_CREAT, O_RDWR
+from repro.sim import Environment
+from repro.tracer import DIOTracer, RecordBatch, TracerConfig
+from repro.tracer.batch import _DictLane, _make_lane, _num_lane
+from repro.tracer.events import Event, estimate_record_size
+
+SESSION = "ingest-test"
+
+
+def make_records():
+    """A batch covering the lane corner cases.
+
+    Mixed arg value types (buffers, vectors, out-params, exotica),
+    optional enrichment fields present/absent, repeated and unique
+    lane values.
+    """
+    return [
+        {"syscall": "open", "args": {"path": "/data/a", "flags": 66},
+         "ret": 3, "pid": 10, "tid": 10, "comm": "app",
+         "enter_ns": 100, "exit_ns": 150, "file_type": "regular",
+         "file_tag": "/data/a"},
+        {"syscall": "write", "args": {"fd": 3, "data": b"x" * 64},
+         "ret": 64, "pid": 10, "tid": 10, "comm": "app",
+         "enter_ns": 200, "exit_ns": 280, "file_type": "regular",
+         "offset": 0, "file_tag": "/data/a"},
+        {"syscall": "writev",
+         "args": {"fd": 3, "datas": [b"a" * 10, b"b" * 20]},
+         "ret": 30, "pid": 10, "tid": 11, "comm": "app",
+         "enter_ns": 300, "exit_ns": 420, "file_type": "regular",
+         "offset": 64, "file_tag": "/data/a"},
+        {"syscall": "fstat", "args": {"fd": 3, "statbuf": {"size": 94}},
+         "ret": 0, "pid": 10, "tid": 10, "comm": "app",
+         "enter_ns": 500, "exit_ns": 540, "file_type": "regular",
+         "file_tag": "/data/a"},
+        {"syscall": "stat",
+         "args": {"path": "/data/b", "statbuf": {}, "weird": object()},
+         "ret": -2, "pid": 11, "tid": 12, "comm": "other",
+         "enter_ns": 600, "exit_ns": 610},
+        {"syscall": "close", "args": {"fd": 3},
+         "ret": 0, "pid": 10, "tid": 10, "comm": "app",
+         "enter_ns": 700, "exit_ns": 705, "file_type": "regular",
+         "file_tag": "/data/a"},
+    ]
+
+
+def legacy_docs(records, session=SESSION):
+    """What the per-event path would ship for the same records."""
+    return [Event(
+        syscall=r["syscall"], args=r["args"], ret=r["ret"],
+        pid=r["pid"], tid=r["tid"], proc_name=r["comm"],
+        time=r["enter_ns"], time_exit=r["exit_ns"],
+        file_type=r.get("file_type"), offset=r.get("offset"),
+        file_tag=r.get("file_tag"), session=session,
+    ).to_doc() for r in records]
+
+
+# ----------------------------------------------------------------------
+# RecordBatch lanes
+
+class TestRecordBatch:
+    def test_to_docs_byte_identical_to_legacy_path(self):
+        records = make_records()
+        batch = RecordBatch.decode(records, session=SESSION)
+        expected = legacy_docs(records)
+        assert batch.to_docs() == expected
+        # Same key *order*, not just equal mappings.
+        for got, want in zip(batch.to_docs(), expected):
+            assert list(got) == list(want)
+        assert len(batch) == len(records)
+        assert list(batch) == expected
+
+    def test_values_for_matches_document_reads(self):
+        from repro.backend.query import get_field
+
+        records = make_records()
+        batch = RecordBatch.decode(records, session=SESSION)
+        docs = legacy_docs(records)
+        for field in ("syscall", "proc_name", "pid", "tid", "file_type",
+                      "file_tag", "ret", "time", "time_exit",
+                      "duration_ns", "offset", "session", "file_path",
+                      "args.fd", "args.path"):
+            assert batch.values_for(field) == [
+                get_field(doc, field) for doc in docs], field
+
+    def test_groups_cover_rows_exactly(self):
+        records = make_records()
+        batch = RecordBatch.decode(records, session=SESSION)
+        for field in ("syscall", "proc_name", "pid", "tid", "file_type",
+                      "file_tag", "session"):
+            grouped = batch.groups_for(field)
+            assert grouped is not None, field
+            rebuilt = [None] * len(batch)
+            for value, rows in grouped:
+                for row in rows:
+                    assert rebuilt[row] is None  # disjoint groups
+                    rebuilt[row] = value
+            assert rebuilt == batch.values_for(field), field
+
+    def test_args_sanitisation_is_deferred(self):
+        records = make_records()
+        batch = RecordBatch.decode(records, session=SESSION)
+        assert batch._args is None  # nothing sanitised at decode time
+        args = batch.args()
+        assert batch._args is not None
+        # Buffers became sizes, vectors became counts, out-params vanished.
+        assert args[1]["data"] == 64
+        assert args[2]["datas"] == 30
+        assert "statbuf" not in args[3]
+        assert batch.args() is args  # memoised
+
+    def test_dict_lane_rejects_cross_type_equal_values(self):
+        # True == 1 and 1.0 == 1: coding them would decode a
+        # different-but-equal object and break byte-identity.
+        assert type(_make_lane(["a", "a", "b"])) is _DictLane
+        assert type(_make_lane([1, 1, 2])) is _DictLane
+        assert type(_make_lane([1, True, 2])) is list
+        assert type(_make_lane([1.0, 1, 2])) is list
+        assert type(_make_lane([None, "a", None])) is _DictLane
+
+    def test_num_lane_falls_back_on_bool_and_bignum(self):
+        packed = _num_lane([1, 2, 3])
+        assert packed.typecode == "q"
+        assert type(_num_lane([1, True, 3])) is list
+        assert type(_num_lane([1, 2 ** 80, 3])) is list
+
+    def test_decoded_bool_ret_survives_round_trip(self):
+        records = make_records()
+        records[0]["ret"] = True
+        batch = RecordBatch.decode(records, session=SESSION)
+        doc = batch.to_docs()[0]
+        assert doc["ret"] is True
+        assert json.dumps(doc) == json.dumps(legacy_docs(records)[0])
+
+
+# ----------------------------------------------------------------------
+# estimate_record_size (nested-args regression)
+
+class TestEstimateRecordSize:
+    def test_nested_dict_args_cost_nothing(self):
+        # _sanitize_args drops dict-valued out-params entirely, so the
+        # ring accounting must not charge for their contents — however
+        # deeply nested.
+        flat = estimate_record_size("fstat", {"fd": 3, "statbuf": {}})
+        nested = estimate_record_size("fstat", {
+            "fd": 3,
+            "statbuf": {"size": 4096,
+                        "times": {"atime": {"sec": 1, "nsec": 2},
+                                  "mtime": [1, 2, 3, {"deep": "x" * 500}]}},
+        })
+        assert nested == flat
+
+    def test_buffer_lists_collapse_to_counts(self):
+        small = estimate_record_size("writev",
+                                     {"fd": 3, "datas": [b"a"]})
+        huge = estimate_record_size(
+            "writev", {"fd": 3, "datas": [b"a" * 65536] * 64})
+        assert huge == small  # both serialize as one count int
+
+    def test_strings_and_exotics_charge_their_length(self):
+        base = estimate_record_size("open", {})
+        assert (estimate_record_size("open", {"path": "/abc"})
+                == base + len("/abc") + 8)
+
+        class Exotic:
+            def __str__(self):
+                return "EXOTIC"
+
+        assert (estimate_record_size("open", {"w": Exotic()})
+                == base + len("EXOTIC") + 8)
+
+
+# ----------------------------------------------------------------------
+# bulk_columnar + lazy hydration
+
+#: The fields the tracer eagerly indexes on attach.
+TRACED_FIELDS = ("syscall", "proc_name", "pid", "tid", "file_tag",
+                 "session", "time")
+
+
+def store_pair(records):
+    """(legacy store, vectorized store) loaded with the same records."""
+    legacy = DocumentStore()
+    legacy.ensure_index("idx", indexed_fields=TRACED_FIELDS)
+    legacy.bulk("idx", legacy_docs(records))
+    vec = DocumentStore()
+    vec.ensure_index("idx", indexed_fields=TRACED_FIELDS)
+    vec.bulk_columnar("idx", RecordBatch.decode(records, session=SESSION))
+    return legacy, vec
+
+
+class TestBulkColumnar:
+    def test_scan_matches_legacy_bulk(self):
+        legacy, vec = store_pair(make_records())
+        assert (list(vec.scan("idx", {"match_all": {}}))
+                == list(legacy.scan("idx", {"match_all": {}})))
+
+    def test_indexes_match_legacy_bulk(self):
+        legacy, vec = store_pair(make_records())
+        vec._indices["idx"]._flush_all_lanes()
+        for field in TRACED_FIELDS:
+            lhs = legacy._indices["idx"]._fields[field]
+            rhs = vec._indices["idx"]._fields[field]
+            assert lhs.postings == rhs.postings, field
+            assert lhs.present == rhs.present, field
+
+    def test_queries_flush_only_the_fields_they_touch(self):
+        _, vec = store_pair(make_records())
+        index = vec._indices["idx"]
+        assert len(index._lane_backlog) == 1
+        assert vec.count("idx", {"term": {"syscall": "write"}}) == 1
+        assert index._lane_pos.get("syscall") == 1
+        assert "time" not in index._lane_pos
+        assert not index._fields["time"].postings
+        # A per-document mutation is the full barrier: every field
+        # catches up and the backlog drops.
+        vec.index_doc("idx", {"syscall": "late", "session": SESSION})
+        assert not index._lane_backlog
+        assert index._fields["time"].postings
+
+    def test_count_and_len_do_not_hydrate(self):
+        vec = DocumentStore()
+        vec.ensure_index("idx", indexed_fields=TRACED_FIELDS)
+        vec.bulk_columnar("idx", RecordBatch.decode(make_records(),
+                                                    session=SESSION))
+        index = vec._indices["idx"]
+        assert index.pending_docs == 6
+        assert vec.count("idx") == 6
+        assert len(index) == 6
+        assert vec.count("idx", {"term": {"syscall": "write"}}) == 1
+        assert index.pending_docs == 6  # still nothing materialised
+
+    def test_reads_hydrate_on_demand(self):
+        records = make_records()
+        vec = DocumentStore()
+        vec.bulk_columnar("idx", RecordBatch.decode(records,
+                                                    session=SESSION))
+        index = vec._indices["idx"]
+        assert vec.get_doc("idx", "1") == legacy_docs(records)[0]
+        assert index.pending_docs == 0
+        assert index.hydrated_docs_total == 6
+
+    def test_steady_state_aggregation_stays_lazy(self):
+        # Once the columns exist, further columnar bulks + aggregations
+        # never materialise a _source dict.
+        records = make_records()
+        vec = DocumentStore()
+        aggs = {"per": {"terms": {"field": "syscall", "size": 10}}}
+        vec.bulk_columnar("idx", RecordBatch.decode(records,
+                                                    session=SESSION))
+        vec.search("idx", size=0, aggs=aggs)  # builds the column
+        index = vec._indices["idx"]
+        hydrated = index.hydrated_docs_total
+        vec.bulk_columnar("idx", RecordBatch.decode(records,
+                                                    session=SESSION))
+        response = vec.search("idx", size=0, aggs=aggs)
+        assert vec.count("idx") == 12
+        assert index.hydrated_docs_total == hydrated
+        assert index.pending_docs == 6
+        buckets = {b["key"]: b["doc_count"]
+                   for b in response["aggregations"]["per"]["buckets"]}
+        assert buckets["write"] == 2
+
+    def test_mutations_after_columnar_bulk_are_ordered(self):
+        records = make_records()
+        vec = DocumentStore()
+        vec.bulk_columnar("idx", RecordBatch.decode(records,
+                                                    session=SESSION))
+        vec.index_doc("idx", {"syscall": "late", "session": SESSION},
+                      doc_id="99")
+        assert vec.delete_by_query("idx", {"term": {"syscall": "open"}}) == 1
+        docs = [doc_id for doc_id, _ in vec.scan("idx", {"match_all": {}})]
+        assert "1" not in docs and "99" in docs
+        assert vec.count("idx") == 6
+
+    def test_ingest_telemetry_families(self):
+        from repro.telemetry import MetricsRegistry
+
+        vec = DocumentStore()
+        registry = MetricsRegistry()
+        vec.bind_telemetry(registry)
+        vec.bulk_columnar("idx", RecordBatch.decode(make_records(),
+                                                    session=SESSION))
+        assert registry.value("dio_ingest_columnar_bulks_total") == 1
+        assert registry.value("dio_ingest_pending_docs") == 6
+        assert registry.value("dio_ingest_docs_hydrated_total") == 0
+        vec.get_doc("idx", "1")
+        assert registry.value("dio_ingest_pending_docs") == 0
+        assert registry.value("dio_ingest_docs_hydrated_total") == 6
+
+
+# ----------------------------------------------------------------------
+# The consumer: mode equivalence + batched counter updates
+
+def run_pipeline(ingest_mode, hook=None):
+    """Trace a small workload end-to-end under ``ingest_mode``."""
+    env = Environment()
+    kernel = Kernel(env, ncpus=2)
+    store = DocumentStore()
+    tracer = DIOTracer(env, kernel, store,
+                       TracerConfig(ingest_mode=ingest_mode))
+    if hook is not None:
+        hook(tracer)
+    task = kernel.spawn_process("app").threads[0]
+    tracer.attach()
+
+    def workload():
+        fd = yield from kernel.syscall(task, "open", path="/f",
+                                       flags=O_CREAT | O_RDWR)
+        for i in range(40):
+            yield from kernel.syscall(task, "write", fd=fd,
+                                      data=b"x" * (i + 1))
+        yield from kernel.syscall(task, "close", fd=fd)
+        yield from tracer.shutdown()
+
+    env.run(until=env.process(workload()))
+    return store, tracer
+
+
+class TestConsumerModes:
+    def test_modes_store_identical_documents(self):
+        stores = {}
+        for mode in ("vectorized", "legacy"):
+            store, _ = run_pipeline(mode)
+            stores[mode] = list(store.scan("dio_trace", {"match_all": {}}))
+        assert stores["vectorized"] == stores["legacy"]
+
+    def test_modes_agree_on_shared_counters(self):
+        values = {}
+        for mode in ("vectorized", "legacy"):
+            _, tracer = run_pipeline(mode)
+            registry = tracer.telemetry.registry
+            values[mode] = {
+                name: registry.value(name)
+                for name in ("dio_consumer_events_parsed_total",
+                             "dio_consumer_batches_total",
+                             "dio_shipper_events_total")
+            }
+            values[mode]["ingest_events"] = registry.value(
+                "dio_ingest_events_total", {"mode": mode})
+            values[mode]["ingest_batches"] = registry.value(
+                "dio_ingest_batches_total", {"mode": mode})
+        lhs, rhs = values["vectorized"], values["legacy"]
+        assert lhs == {**rhs, **{}}  # identical counter readings
+        assert lhs["ingest_events"] == lhs[
+            "dio_consumer_events_parsed_total"]
+
+    @pytest.mark.parametrize("mode", ["vectorized", "legacy"])
+    def test_counter_updates_are_batched(self, mode):
+        # One registry add per batch, not per event: the parsed-events
+        # counter and both ingest counters must each be incremented
+        # exactly as many times as there were batches.
+        calls = {"parsed": 0, "events": 0, "batches": 0}
+
+        class CountingProxy:
+            def __init__(self, inner, key):
+                self._inner, self._key = inner, key
+
+            def inc(self, amount=1):
+                calls[self._key] += 1
+                return self._inner.inc(amount)
+
+        def hook(tracer):
+            tracer._m_parsed = CountingProxy(tracer._m_parsed, "parsed")
+            tracer._m_ingest_events = CountingProxy(
+                tracer._m_ingest_events, "events")
+            tracer._m_ingest_batches = CountingProxy(
+                tracer._m_ingest_batches, "batches")
+
+        _, tracer = run_pipeline(mode, hook=hook)
+        registry = tracer.telemetry.registry
+        batches = registry.value("dio_consumer_batches_total")
+        parsed = registry.value("dio_consumer_events_parsed_total")
+        assert parsed == 42  # open + 40 writes + close
+        assert batches >= 1
+        assert calls["parsed"] == batches
+        assert calls["events"] == batches
+        assert calls["batches"] == batches
+
+
+class TestIngestConfig:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TracerConfig(ingest_mode="simd")
+
+    def test_from_toml_reads_ingest_mode(self):
+        config = TracerConfig.from_toml(
+            "[backend]\ningest_mode = 'legacy'\n")
+        assert config.ingest_mode == "legacy"
+
+    def test_store_without_bulk_columnar_degrades(self):
+        # A backend predating the vectorized endpoint still works: the
+        # consumer materialises the batch and ships a dict bulk.
+        class OldStore:
+            def __init__(self):
+                self.inner = DocumentStore()
+
+            def ensure_index(self, *a, **k):
+                return self.inner.ensure_index(*a, **k)
+
+            def bulk(self, index, sources, nominal_ns=0):
+                return self.inner.bulk(index, sources)
+
+            def bind_telemetry(self, registry, clock=None):
+                pass
+
+        env = Environment()
+        kernel = Kernel(env, ncpus=1)
+        old = OldStore()
+        tracer = DIOTracer(env, kernel, old,
+                           TracerConfig(correlate_on_stop=False))
+        task = kernel.spawn_process("app").threads[0]
+        tracer.attach()
+
+        def workload():
+            fd = yield from kernel.syscall(task, "open", path="/f",
+                                           flags=O_CREAT | O_RDWR)
+            yield from kernel.syscall(task, "close", fd=fd)
+            yield from tracer.shutdown()
+
+        env.run(until=env.process(workload()))
+        assert old.inner.count("dio_trace") == 2
