@@ -5,6 +5,12 @@ perf history is held across PRs.  A malformed baseline must fail the
 job loudly *before* the benchmark spends minutes running — a corrupt
 file that silently started a fresh trajectory would erase the history
 the whole scheme exists to keep.
+
+Current baselines (see docs/TESTING.md for the gate each enforces):
+``BENCH_query_engine.json``, ``BENCH_aggregations.json``,
+``BENCH_resilience.json``, ``BENCH_diagnosis.json``,
+``BENCH_ingest.json`` (vectorized ingest), and ``BENCH_storage.json``
+(segment-store cold start and footprint).
 """
 
 import json

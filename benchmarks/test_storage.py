@@ -1,0 +1,219 @@
+"""Segment-storage trajectory benchmark: cold start and footprint.
+
+Persists the same synthetic session both ways — `storage_mode="jsonl"`
+(one JSON-lines file, the oracle format) and `storage_mode="segments"`
+(WAL + immutable columnar segment files, docs/STORAGE.md) — and
+measures what the engine was built for:
+
+- **cold start**: time from nothing-in-memory to answering a narrow
+  time-window count.  The segment store opens footer-first and
+  zone-prunes to the one segment that overlaps the window; JSON-lines
+  has to re-parse the whole session first.
+- **footprint**: bytes on disk per stored event.
+
+The headline gates only bind at full scale (1M events): cold start
+**≥5x** faster than the JSON-lines re-parse and **≥2x** smaller on
+disk.  The regression gate holds cold-start throughput to within 20%
+of the best same-size entry in ``BENCH_storage.json``.  A differential
+stage loads the session back from both formats and requires identical
+documents, query counts, aggregations, and diagnosis — the binary
+format never buys a different answer.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.backend import DocumentStore, SegmentStorage
+from repro.backend.persistence import (import_session, load_session,
+                                       save_session)
+
+N_EVENTS = int(os.environ.get("DIO_BENCH_EVENTS", "1000000"))
+ROUNDS = 1 if N_EVENTS >= 500_000 else 3
+INDEX = "dio_trace"
+SESSION = "bench-storage"
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+#: Segment sizing: enough files that zone pruning has room to work
+#: (64 segments at full scale), but never degenerate at smoke sizes.
+FLUSH_EVENTS = max(1024, N_EVENTS // 64)
+
+_SYSCALLS = ("read", "write", "pread64", "pwrite64", "fsync", "lseek",
+             "openat", "close")
+_PROCS = ("db_bench", "db_bench", "rocksdb:low0", "rocksdb:low1",
+          "rocksdb:high0", "wal_writer")
+
+
+def _make_docs(n: int, seed: int = 2209) -> list[dict]:
+    """Event-shaped documents, same fields ``Event.to_doc`` emits."""
+    rng = random.Random(seed)
+    docs = []
+    clock = 0
+    for i in range(n):
+        clock += rng.randrange(500, 1500)
+        duration = rng.randrange(200, 5000)
+        syscall = _SYSCALLS[i % len(_SYSCALLS)]
+        doc = {
+            "syscall": syscall,
+            "args": {"fd": 3 + rng.randrange(4)},
+            "ret": rng.randrange(0, 65536),
+            "pid": 4000 + rng.randrange(4),
+            "tid": 4000 + rng.randrange(16),
+            "proc_name": _PROCS[rng.randrange(len(_PROCS))],
+            "time": clock,
+            "time_exit": clock + duration,
+            "duration_ns": duration,
+            "session": SESSION,
+            "file_type": "regular",
+            "offset": rng.randrange(0, 1 << 20),
+            "file_tag": f"7 {rng.randrange(16)} 1",
+        }
+        docs.append(doc)
+    return docs
+
+
+def _cold_start_segments(root: Path, window: dict):
+    start = time.perf_counter()
+    engine = SegmentStorage(root, create=False)
+    hits = engine.count(window)
+    elapsed = time.perf_counter() - start
+    engine.close()
+    return elapsed, hits
+
+
+def _cold_start_jsonl(path: Path, window: dict):
+    start = time.perf_counter()
+    store = DocumentStore()
+    import_session(store, path, index=INDEX, rename_to="cold")
+    hits = store.count(INDEX, window)
+    elapsed = time.perf_counter() - start
+    return elapsed, hits
+
+
+def _differential_gate(seg_root: Path, jsonl_path: Path) -> None:
+    """Identical stores back from both formats: docs, queries, aggs,
+    diagnosis."""
+    from repro.analysis.diagnose import diagnose_session
+
+    via_seg, via_jsonl = DocumentStore(), DocumentStore()
+    load_session(via_seg, seg_root, index=INDEX, rename_to=SESSION)
+    load_session(via_jsonl, jsonl_path, index=INDEX, rename_to=SESSION)
+    assert (list(via_seg.scan(INDEX, {"match_all": {}}))
+            == list(via_jsonl.scan(INDEX, {"match_all": {}})))
+    queries = [
+        {"term": {"syscall": "write"}},
+        {"range": {"time": {"gte": 0, "lt": 10 ** 12}}},
+        {"bool": {"must": [{"term": {"proc_name": "db_bench"}}],
+                  "must_not": [{"term": {"syscall": "close"}}]}},
+    ]
+    for query in queries:
+        assert (via_seg.count(INDEX, query)
+                == via_jsonl.count(INDEX, query)), query
+    aggs = {
+        "per_syscall": {"terms": {"field": "syscall", "size": 20}},
+        "latency": {"stats": {"field": "duration_ns"}},
+        "p": {"percentiles": {"field": "duration_ns",
+                              "percents": [50, 95, 99]}},
+    }
+    lhs = via_seg.search(INDEX, size=0, aggs=aggs)["aggregations"]
+    rhs = via_jsonl.search(INDEX, size=0, aggs=aggs)["aggregations"]
+    assert json.dumps(lhs, sort_keys=True) == json.dumps(rhs,
+                                                         sort_keys=True)
+    lhs_diag = diagnose_session(via_seg, SESSION, index=INDEX)
+    rhs_diag = diagnose_session(via_jsonl, SESSION, index=INDEX)
+    assert (json.dumps(lhs_diag.as_dict(), sort_keys=True, default=str)
+            == json.dumps(rhs_diag.as_dict(), sort_keys=True,
+                          default=str))
+
+
+def _regression_gate(entry: dict) -> None:
+    """Fail on >20% cold-start regression vs the best same-size run."""
+    from _baseline import load_trajectory
+
+    history = [e for e in load_trajectory(ARTIFACT)
+               if e.get("benchmark") == "segment_storage"
+               and e.get("events") == entry["events"]]
+    if not history:
+        return
+    best = max(e["segments_cold_events_per_s"] for e in history)
+    floor = 0.8 * best
+    assert entry["segments_cold_events_per_s"] >= floor, (
+        f"segment cold start regressed: "
+        f"{entry['segments_cold_events_per_s']:.0f} events/s vs "
+        f"baseline best {best:.0f} (floor {floor:.0f})")
+
+
+def test_storage_trajectory(tmp_path):
+    docs = _make_docs(N_EVENTS)
+    store = DocumentStore()
+    store.bulk(INDEX, docs)
+
+    seg_root = tmp_path / "segments"
+    jsonl_path = tmp_path / "session.jsonl"
+    start = time.perf_counter()
+    save_session(store, SESSION, seg_root, index=INDEX,
+                 storage_mode="segments", flush_events=FLUSH_EVENTS)
+    seg_save_s = time.perf_counter() - start
+    start = time.perf_counter()
+    save_session(store, SESSION, jsonl_path, index=INDEX,
+                 storage_mode="jsonl")
+    jsonl_save_s = time.perf_counter() - start
+
+    # A window the width of roughly one segment, in the middle.
+    times = [docs[0]["time"], docs[-1]["time"]]
+    span = times[1] - times[0]
+    mid = times[0] + span // 2
+    window = {"range": {"time": {"gte": mid,
+                                 "lt": mid + max(1, span // 64)}}}
+
+    seg_cold = jsonl_cold = float("inf")
+    seg_hits = jsonl_hits = None
+    for _ in range(ROUNDS):
+        elapsed, hits = _cold_start_segments(seg_root, window)
+        if elapsed < seg_cold:
+            seg_cold, seg_hits = elapsed, hits
+        elapsed, hits = _cold_start_jsonl(jsonl_path, window)
+        if elapsed < jsonl_cold:
+            jsonl_cold, jsonl_hits = elapsed, hits
+    assert seg_hits == jsonl_hits and seg_hits > 0
+
+    seg_bytes = SegmentStorage(seg_root, create=False).disk_bytes()
+    jsonl_bytes = jsonl_path.stat().st_size
+    speedup = jsonl_cold / seg_cold
+    footprint_ratio = jsonl_bytes / seg_bytes
+
+    _differential_gate(seg_root, jsonl_path)
+
+    entry = {
+        "benchmark": "segment_storage",
+        "events": N_EVENTS,
+        "rounds": ROUNDS,
+        "flush_events": FLUSH_EVENTS,
+        "segments_save_s": round(seg_save_s, 4),
+        "jsonl_save_s": round(jsonl_save_s, 4),
+        "segments_cold_s": round(seg_cold, 4),
+        "jsonl_cold_s": round(jsonl_cold, 4),
+        "segments_cold_events_per_s": round(N_EVENTS / seg_cold, 1),
+        "jsonl_cold_events_per_s": round(N_EVENTS / jsonl_cold, 1),
+        "cold_speedup": round(speedup, 3),
+        "segments_bytes": seg_bytes,
+        "jsonl_bytes": jsonl_bytes,
+        "segments_bytes_per_event": round(seg_bytes / N_EVENTS, 2),
+        "jsonl_bytes_per_event": round(jsonl_bytes / N_EVENTS, 2),
+        "footprint_ratio": round(footprint_ratio, 3),
+    }
+    _regression_gate(entry)
+
+    from _baseline import append_trajectory
+    append_trajectory(ARTIFACT, entry)
+
+    # Headline acceptance gates bind at full scale; smoke runs are
+    # dominated by fixed costs, so they only sanity-check direction.
+    if N_EVENTS >= 1_000_000:
+        assert speedup >= 5.0, entry
+        assert footprint_ratio >= 2.0, entry
+    else:
+        assert speedup >= 1.0, entry
+        assert footprint_ratio >= 1.0, entry

@@ -25,6 +25,10 @@ package is an in-process substitute exposing the same operations:
   ``aggs`` requests down to, bypassing ``_source`` materialisation.
 - :mod:`repro.backend.correlation` — the paper's custom file-path
   correlation algorithm, translating file tags into accessed paths.
+- :mod:`repro.backend.segments` + :mod:`repro.backend.wal` — the
+  segment storage engine: immutable columnar segment files with zone
+  maps and checksummed footers behind a write-ahead log (the
+  ``storage_mode="segments"`` axis; byte layout in docs/STORAGE.md).
 """
 
 from repro.backend.store import DocumentStore, Index, StoreError
@@ -35,9 +39,13 @@ from repro.backend.indexes import FieldIndex
 from repro.backend.naive import legacy_correlate, naive_aggregate, naive_scan
 from repro.backend.aggregations import run_aggregations, AggregationError
 from repro.backend.correlation import FilePathCorrelator, CorrelationReport
-from repro.backend.persistence import (SessionError, delete_session,
-                                       export_session, import_session,
-                                       list_sessions, recover_session)
+from repro.backend.persistence import (STORAGE_MODES, SessionError,
+                                       delete_session, export_session,
+                                       import_session, list_sessions,
+                                       load_session, recover_session,
+                                       save_session, storage_mode_of)
+from repro.backend.segments import Segment, SegmentError, SegmentStorage
+from repro.backend.wal import WALError, WriteAheadLog
 
 __all__ = [
     "DocumentStore",
@@ -59,9 +67,18 @@ __all__ = [
     "FilePathCorrelator",
     "CorrelationReport",
     "SessionError",
+    "STORAGE_MODES",
     "delete_session",
     "export_session",
     "import_session",
     "list_sessions",
+    "load_session",
     "recover_session",
+    "save_session",
+    "storage_mode_of",
+    "Segment",
+    "SegmentError",
+    "SegmentStorage",
+    "WALError",
+    "WriteAheadLog",
 ]

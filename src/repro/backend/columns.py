@@ -42,9 +42,13 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from repro.backend.aggregations import percentile
 from repro.backend.query import get_field
 
-#: int64 bounds for the ``array('q')`` fast path.
-_INT64_MIN = -(1 << 63)
-_INT64_MAX = (1 << 63) - 1
+#: int64 bounds for the ``array('q')`` fast path.  Public because the
+#: segment storage engine applies the same rule when deciding whether a
+#: field can live in a packed ``array('q')`` lane on disk.
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+_INT64_MIN = INT64_MIN
+_INT64_MAX = INT64_MAX
 
 #: Aggregation kinds the kernels implement.
 BUCKET_KINDS = ("terms", "histogram", "date_histogram")

@@ -7,6 +7,20 @@ Sessions are exported as JSON-lines files (one event document per
 line, plus a header line with session metadata) and can be re-imported
 into any :class:`~repro.backend.store.DocumentStore` — on this machine,
 on another one, or months later.
+
+Two on-disk formats live behind the ``storage_mode`` axis:
+
+* ``"jsonl"`` — the original single-file JSON-lines layout, kept as
+  the always-correct differential oracle;
+* ``"segments"`` — a directory managed by
+  :class:`repro.backend.segments.SegmentStorage`: immutable columnar
+  segment files with zone maps and checksummed footers (see
+  ``docs/STORAGE.md``), giving O(segment-index) cold start instead of
+  O(re-parse everything).
+
+:func:`save_session` / :func:`load_session` dispatch on the axis;
+loading auto-detects the format from what is actually on disk, so a
+reader never has to know how a capture was written.
 """
 
 from __future__ import annotations
@@ -19,6 +33,9 @@ from repro.backend.store import DocumentStore
 
 #: Format marker written in the header line.
 FORMAT = "dio-session-v1"
+
+#: Supported on-disk session layouts (the ``storage_mode`` config axis).
+STORAGE_MODES = ("jsonl", "segments")
 
 
 class SessionError(Exception):
@@ -128,6 +145,85 @@ def import_session(store: DocumentStore, path: str | Path,
                                               "tid", "file_tag", "session",
                                               "time"))
     store.bulk(index, docs)
+    return session
+
+
+def save_session(store: DocumentStore, session: str, path: str | Path,
+                 index: str = "dio_trace", storage_mode: str = "jsonl",
+                 flush_events: int = 100_000) -> int:
+    """Persist one session under the chosen ``storage_mode``.
+
+    ``"jsonl"`` delegates to :func:`export_session` (one file);
+    ``"segments"`` writes a :class:`~repro.backend.segments.
+    SegmentStorage` directory at ``path``, chunking the time-sorted
+    events into ``flush_events``-sized immutable segments.  Both paths
+    reload into byte-identical stores.  Returns the event count.
+    """
+    if storage_mode not in STORAGE_MODES:
+        raise SessionError(f"unknown storage mode {storage_mode!r}; "
+                           f"pick one of {STORAGE_MODES}")
+    if storage_mode == "jsonl":
+        return export_session(store, session, path, index=index)
+    from repro.backend.segments import SegmentError, SegmentStorage
+    response = store.search(index, query={"term": {"session": session}},
+                            sort=["time"], size=None)
+    hits = response["hits"]["hits"]
+    if not hits:
+        raise SessionError(f"session {session!r} has no events in {index!r}")
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise SessionError(f"{path}: segment stores need a directory, "
+                           "not a file")
+    try:
+        engine = SegmentStorage(path, flush_events=flush_events)
+        count = engine.import_docs((hit["_source"] for hit in hits),
+                                   session=session)
+        engine.close()
+    except SegmentError as exc:
+        raise SessionError(f"cannot write segment store {path}") from exc
+    return count
+
+
+def storage_mode_of(path: str | Path) -> str:
+    """Which on-disk layout lives at ``path`` (``jsonl``/``segments``).
+
+    A directory holding a segment manifest is ``"segments"``;
+    anything else is assumed to be a JSON-lines file (whose own header
+    validation runs at import time).
+    """
+    from repro.backend.segments import MANIFEST_NAME
+    path = Path(path)
+    if path.is_dir():
+        if (path / MANIFEST_NAME).exists():
+            return "segments"
+        raise SessionError(f"{path} is a directory but holds no "
+                           "segment manifest")
+    return "jsonl"
+
+
+def load_session(store: DocumentStore, path: str | Path,
+                 index: str = "dio_trace",
+                 rename_to: Optional[str] = None) -> str:
+    """Load a persisted session, whatever its on-disk format.
+
+    The ``segments`` path costs O(segment index) to open and then
+    bulk-loads in global time order — the same document order
+    :func:`import_session` produces from a sorted export, so either
+    format rebuilds an indistinguishable store.  Returns the session
+    name.
+    """
+    if storage_mode_of(path) == "jsonl":
+        return import_session(store, path, index=index, rename_to=rename_to)
+    from repro.backend.segments import SegmentError, SegmentStorage
+    try:
+        engine = SegmentStorage(path, create=False)
+        session, count = engine.load_into(store, index=index,
+                                          rename_to=rename_to)
+        engine.close()
+    except SegmentError as exc:
+        raise SessionError(f"cannot load segment store {path}") from exc
+    if count == 0:
+        raise SessionError(f"segment store {path} holds no events")
     return session
 
 

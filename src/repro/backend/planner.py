@@ -229,6 +229,62 @@ def _plan_bool(body: dict,
     return best, exact
 
 
+def prune_constraints(query: Optional[dict]) -> list[tuple[str, str, Any]]:
+    """Conjunctive per-field constraints usable for coarse pruning.
+
+    Walks the same clause shapes as :func:`plan_query` but collects
+    only what a *summary* structure (e.g. a segment zone map) can act
+    on: ``term``/``terms``/``range`` clauses found at the top level or
+    inside ``bool.must``/``bool.filter`` conjunctions.  Every returned
+    triple ``(field, kind, payload)`` — kind ``"eq"`` (one value),
+    ``"in"`` (a value list) or ``"range"`` (a bounds dict) — is a
+    *necessary* condition: a row can only match the query if it
+    satisfies all of them, so a summary proving any one of them
+    unsatisfiable proves the whole unit has no matches.  Clauses the
+    walker does not understand contribute nothing (never a wrong
+    constraint).
+    """
+    out: list[tuple[str, str, Any]] = []
+    _collect_constraints(query, out)
+    return out
+
+
+def _collect_constraints(query: Any, out: list) -> None:
+    if not isinstance(query, dict) or len(query) != 1:
+        return
+    kind, body = next(iter(query.items()))
+    if kind == "term":
+        entry = _entry(body)
+        if entry is None:
+            return
+        field, value = entry
+        if isinstance(value, dict) and "value" in value:
+            value = value["value"]
+        if is_indexable(value):
+            out.append((field, "eq", value))
+    elif kind == "terms":
+        entry = _entry(body)
+        if entry is None:
+            return
+        field, values = entry
+        if (isinstance(values, (list, tuple))
+                and values
+                and all(is_indexable(value) for value in values)):
+            out.append((field, "in", list(values)))
+    elif kind == "range":
+        entry = _entry(body)
+        if entry is None:
+            return
+        field, bounds = entry
+        if isinstance(bounds, dict) and bounds:
+            out.append((field, "range", bounds))
+    elif kind == "bool":
+        if not isinstance(body, dict):
+            return
+        for clause in _clauses(body, "must") + _clauses(body, "filter"):
+            _collect_constraints(clause, out)
+
+
 def plan_legacy(query: Optional[dict], lookup: FieldLookup) -> QueryPlan:
     """Pre-planner candidate heuristic (kept as the benchmark baseline).
 

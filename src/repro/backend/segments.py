@@ -1,0 +1,1057 @@
+"""Segment-based storage engine with a compact binary format.
+
+The LSM-flavoured replacement for whole-session JSON-lines persistence
+(ROADMAP item 2): acknowledged documents accumulate in a buffer whose
+durable mirror is a :class:`~repro.backend.wal.WriteAheadLog`; when the
+buffer reaches ``flush_events`` rows it is sealed into an *immutable,
+time-sorted segment file* and the WAL is truncated.  Background
+compaction merges contiguous runs of small segments, retention drops
+segments whose newest event fell out of the window, and snapshot /
+restore round-trips the whole directory through a single archive.
+
+One segment file (``seg-NNNNNN.dseg``) holds per-field **columnar
+blocks** — dictionary-coded values plus packed ``array('q')`` /
+``array('d')`` lanes, the same encodings
+:class:`repro.backend.columns.Column` uses in memory — a **footer**
+directory with per-block CRC-32 checksums and per-field min/max **zone
+maps**, and a fixed-size **trailer** so a reader finds the footer in
+one seek.  Opening a store therefore costs O(segment index): only
+manifest, trailers and footers are read until a query actually needs a
+block.  The byte-level layout is specified field by field in
+``docs/STORAGE.md``; ``tests/test_storage_spec.py`` parses a real
+segment using only the offsets from that document, so the spec cannot
+drift from this module.
+
+Zone maps give the planner segment granularity: the conjunctive
+constraints :func:`repro.backend.planner.prune_constraints` extracts
+from a query are checked against each segment's per-field min/max
+before any block is decoded, so a narrow time-range query on a week of
+traces touches one segment, not fifty.
+
+JSON-lines stays as the differential oracle: a session saved with
+``storage_mode="segments"`` reloads into a byte-identical store (same
+documents, same order — rows are sorted with the search path's own
+:func:`repro.backend.store.sort_key`).  Torn-write durability at any
+byte is proven by the DST harness: a truncated segment fails its
+trailer/footer checksum and is dropped whole (its rows are still in
+the WAL or older segments), a truncated WAL recovers its intact
+prefix, and a crash mid-compaction leaves either the old manifest or
+the new one — never a mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+import zipfile
+import zlib
+from array import array
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from repro.backend.columns import INT64_MAX, INT64_MIN
+from repro.backend.planner import prune_constraints
+from repro.backend.query import compile_query, get_field
+from repro.backend.wal import WriteAheadLog, wal_file_size
+
+#: Segment file magic (offset 0) and format version.
+SEGMENT_MAGIC = b"DSEG"
+SEGMENT_VERSION = 1
+#: Trailer magic — the last 8 bytes of every intact segment file.
+TRAILER_MAGIC = b"DIOSEGFT"
+
+#: Manifest format marker.
+MANIFEST_FORMAT = "dio-segments-v1"
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.bin"
+
+#: Block kinds.
+K_DICT = 1        # dictionary codes + value table
+K_I64 = 2         # presence bytes + packed int64 lane
+K_F64 = 3         # presence bytes + packed float64 lane
+
+#: Block flag bits.
+F_ZLIB = 1        # payload is zlib-compressed
+
+#: Value / zone-map type tags.
+T_NULL = 0
+T_STR = 1
+T_INT = 2
+T_FLOAT = 3
+T_BOOL = 4
+T_JSON = 5
+
+_HEADER = struct.Struct("<4sHHQ")        # magic, version, flags, rows
+_BLOCK_HEAD = struct.Struct("<BBI")      # kind, flags, raw payload len
+_TRAILER = struct.Struct("<QII8s")       # footer off, len, crc, magic
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+#: ``array`` typecode guaranteed to be 4 bytes for the code lane.
+_I32_CODE = "i" if array("i").itemsize == 4 else "l"
+
+
+class SegmentError(Exception):
+    """A segment file or manifest is damaged or unreadable."""
+
+
+def _sort_key_of(doc: dict):
+    from repro.backend.store import sort_key
+    return sort_key(doc.get("time"))
+
+
+def sort_docs(docs: list[dict]) -> list[dict]:
+    """Stable time-order, exactly as a JSON-lines export sorts hits."""
+    return sorted(docs, key=_sort_key_of)
+
+
+# ---------------------------------------------------------------------------
+# value encoding (shared by dictionary blocks and zone maps)
+
+def _encode_value(value: Any) -> tuple[int, bytes]:
+    """``(tag, payload)`` for one document field value.
+
+    Tags keep value-equal values of different classes distinct
+    (``True`` vs ``1`` vs ``1.0``), mirroring the in-memory
+    ``(type, value)`` dictionary keys of ``columns.Column``.
+    """
+    cls = type(value)
+    if value is None:
+        return T_NULL, b""
+    if cls is bool:
+        return T_BOOL, b"\x01" if value else b"\x00"
+    if cls is str:
+        return T_STR, value.encode("utf-8")
+    if cls is int:
+        return T_INT, b"%d" % value
+    if cls is float:
+        return T_FLOAT, _F64.pack(value)
+    try:
+        payload = json.dumps(value, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SegmentError(
+            f"value of type {cls.__name__} is not storable: {value!r}"
+        ) from exc
+    return T_JSON, payload
+
+
+def _decode_value(tag: int, payload: bytes) -> Any:
+    if tag == T_NULL:
+        return None
+    if tag == T_STR:
+        return payload.decode("utf-8")
+    if tag == T_INT:
+        return int(payload)
+    if tag == T_FLOAT:
+        return _F64.unpack(payload)[0]
+    if tag == T_BOOL:
+        return payload != b"\x00"
+    if tag == T_JSON:
+        return json.loads(payload.decode("utf-8"))
+    raise SegmentError(f"unknown value tag {tag}")
+
+
+def _lane_bytes(arr: array) -> bytes:
+    if sys.byteorder == "big":          # spec is little-endian on disk
+        arr = array(arr.typecode, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _lane_from(typecode: str, blob: bytes) -> array:
+    arr = array(typecode)
+    arr.frombytes(blob)
+    if sys.byteorder == "big":
+        arr.byteswap()
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# block encode / decode
+
+def _encode_field(present: list[int], values: list[Any]) -> tuple[bytes, Optional[tuple]]:
+    """Build one field's on-disk block; returns ``(block_bytes, zone)``.
+
+    ``present[i]`` says whether row ``i`` carries the field at all
+    (an explicit ``None`` value *is* present — the distinction
+    survives the round trip).  The cheapest faithful representation
+    wins: a packed int64 lane when every present value is an exact
+    in-range ``int``, a float64 lane for pure ``float``, otherwise
+    dictionary codes over a typed value table.  The payload is
+    deflated when that actually saves bytes.
+
+    The zone is ``(tag, min, max)`` over present non-null values when
+    they share one comparable class (str / int / float, NaN-free) —
+    the per-segment min/max the planner prunes with.
+    """
+    live = [v for p, v in zip(present, values) if p and v is not None]
+    classes = set(map(type, live))
+    zone: Optional[tuple] = None
+    if live and classes == {int}:
+        zone = (T_INT, min(live), max(live))
+    elif live and classes == {float}:
+        lo, hi = min(live), max(live)
+        if lo == lo and hi == hi:       # NaN poisons comparisons
+            zone = (T_FLOAT, lo, hi)
+    elif live and classes == {str}:
+        zone = (T_STR, min(live), max(live))
+
+    none_present = any(p and v is None for p, v in zip(present, values))
+    if live and not none_present and classes == {int} \
+            and all(INT64_MIN <= v <= INT64_MAX for v in live):
+        lane = array("q", (v if p else 0 for p, v in zip(present, values)))
+        payload = bytes(bytearray(present)) + _lane_bytes(lane)
+        kind = K_I64
+    elif live and not none_present and classes == {float}:
+        lane = array("d", (v if p else 0.0 for p, v in zip(present, values)))
+        payload = bytes(bytearray(present)) + _lane_bytes(lane)
+        kind = K_F64
+    else:
+        table: list[bytes] = []
+        code_of: dict[tuple[int, bytes], int] = {}
+        codes = array(_I32_CODE, bytes(0))
+        for p, value in zip(present, values):
+            if not p:
+                codes.append(-1)
+                continue
+            tag, blob = _encode_value(value)
+            key = (tag, blob)
+            code = code_of.get(key)
+            if code is None:
+                code = len(table)
+                code_of[key] = code
+                table.append(bytes((tag,)) + _U32.pack(len(blob)) + blob)
+            codes.append(code)
+        payload = b"".join((_U32.pack(len(table)), *table,
+                            _lane_bytes(codes)))
+        kind = K_DICT
+
+    flags = 0
+    deflated = zlib.compress(payload, 6)
+    if len(deflated) < len(payload):
+        flags |= F_ZLIB
+        body = deflated
+    else:
+        body = payload
+    return _BLOCK_HEAD.pack(kind, flags, len(payload)) + body, zone
+
+
+def _decode_block(blob: bytes, rows: int) -> tuple[list[int], list[Any]]:
+    """Inverse of :func:`_encode_field`: ``(present, values)``."""
+    if len(blob) < _BLOCK_HEAD.size:
+        raise SegmentError("block shorter than its header")
+    kind, flags, raw_len = _BLOCK_HEAD.unpack_from(blob, 0)
+    payload = blob[_BLOCK_HEAD.size:]
+    if flags & F_ZLIB:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise SegmentError("block payload fails to inflate") from exc
+    if len(payload) != raw_len:
+        raise SegmentError(
+            f"block payload is {len(payload)}B, header says {raw_len}B")
+    if kind == K_I64 or kind == K_F64:
+        typecode = "q" if kind == K_I64 else "d"
+        width = 8
+        if len(payload) != rows + rows * width:
+            raise SegmentError("numeric block size mismatch")
+        present = list(payload[:rows])
+        lane = _lane_from(typecode, payload[rows:])
+        values = lane.tolist()
+        return present, [v if p else None
+                         for p, v in zip(present, values)]
+    if kind != K_DICT:
+        raise SegmentError(f"unknown block kind {kind}")
+    (n_table,) = _U32.unpack_from(payload, 0)
+    pos = _U32.size
+    table: list[Any] = []
+    for _ in range(n_table):
+        tag = payload[pos]
+        (length,) = _U32.unpack_from(payload, pos + 1)
+        start = pos + 1 + _U32.size
+        table.append(_decode_value(tag, payload[start:start + length]))
+        pos = start + length
+    codes = _lane_from(_I32_CODE, payload[pos:])
+    if len(codes) != rows:
+        raise SegmentError("dictionary code lane length mismatch")
+    present = [0 if code < 0 else 1 for code in codes]
+    values = [table[code] if code >= 0 else None for code in codes]
+    return present, values
+
+
+def _encode_zone(zone: Optional[tuple]) -> bytes:
+    if zone is None:
+        return b"\x00"
+    tag, lo, hi = zone
+    _, lo_blob = _encode_value(lo)
+    _, hi_blob = _encode_value(hi)
+    return b"".join((bytes((tag,)),
+                     _U32.pack(len(lo_blob)), lo_blob,
+                     _U32.pack(len(hi_blob)), hi_blob))
+
+
+# ---------------------------------------------------------------------------
+# segment write
+
+def write_segment(path: str | Path, docs: list[dict], *, session: str,
+                  seq: int, created_ns: int = 0) -> dict:
+    """Write one immutable segment file; returns its meta summary.
+
+    Rows are stable-sorted by ``time`` with the search path's own sort
+    key, so per-segment order matches what a sorted export would emit.
+    The write is atomic: bytes land in ``path + ".tmp"`` and are
+    ``os.replace``d into place, so a crash can leave a stale temp file
+    but never a half-written ``.dseg`` under the final name.
+    """
+    path = Path(path)
+    docs = sort_docs(docs)
+    rows = len(docs)
+    schema: list[str] = []
+    seen: set[str] = set()
+    for doc in docs:
+        for field in doc:
+            if field not in seen:
+                seen.add(field)
+                schema.append(field)
+
+    chunks: list[bytes] = [_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION,
+                                        0, rows)]
+    offset = _HEADER.size
+    entries: list[bytes] = []
+    zones: dict[str, tuple] = {}
+    for field in schema:
+        present: list[int] = []
+        values: list[Any] = []
+        for doc in docs:
+            if field in doc:
+                present.append(1)
+                values.append(doc[field])
+            else:
+                present.append(0)
+                values.append(None)
+        block, zone = _encode_field(present, values)
+        chunks.append(block)
+        if zone is not None:
+            zones[field] = zone
+        name = field.encode("utf-8")
+        entries.append(b"".join((
+            _U16.pack(len(name)), name,
+            struct.pack("<QQI", offset, len(block), zlib.crc32(block)),
+            _encode_zone(zone))))
+        offset += len(block)
+
+    session_blob = session.encode("utf-8")
+    footer = b"".join((
+        _U32.pack(len(schema)), *entries,
+        _U16.pack(len(session_blob)), session_blob,
+        struct.pack("<IQ", seq, created_ns)))
+    trailer = _TRAILER.pack(offset, len(footer), zlib.crc32(footer),
+                            TRAILER_MAGIC)
+
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        for chunk in chunks:
+            handle.write(chunk)
+        handle.write(footer)
+        handle.write(trailer)
+        handle.flush()
+    os.replace(tmp, path)
+    return {"path": str(path), "rows": rows, "session": session,
+            "seq": seq, "bytes": offset + len(footer) + _TRAILER.size}
+
+
+# ---------------------------------------------------------------------------
+# segment read
+
+class Segment:
+    """One immutable on-disk segment, opened footer-first.
+
+    Construction reads *only* the trailer and footer (plus their
+    checksums) — a few hundred bytes however large the segment is.
+    Blocks decode lazily on first access and are memoised.  Any
+    truncation or bit-rot that touched the trailer or footer raises
+    :class:`SegmentError` right here, which is how a torn flush is
+    detected and the file rejected whole.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fields: dict[str, tuple[int, int, int, Optional[tuple]]] = {}
+        self._cache: dict[str, tuple[list[int], list[Any]]] = {}
+        self._docs: Optional[list[dict]] = None
+        try:
+            blob = self.path.read_bytes()
+        except OSError as exc:
+            raise SegmentError(f"cannot read segment {self.path}") from exc
+        self._blob = blob
+        if len(blob) < _HEADER.size + _TRAILER.size:
+            raise SegmentError(f"{self.path.name}: file too short")
+        magic, version, _flags, rows = _HEADER.unpack_from(blob, 0)
+        if magic != SEGMENT_MAGIC:
+            raise SegmentError(f"{self.path.name}: bad magic {magic!r}")
+        if version != SEGMENT_VERSION:
+            raise SegmentError(
+                f"{self.path.name}: unsupported version {version}")
+        self.rows = rows
+        foot_off, foot_len, foot_crc, t_magic = _TRAILER.unpack_from(
+            blob, len(blob) - _TRAILER.size)
+        if t_magic != TRAILER_MAGIC:
+            raise SegmentError(f"{self.path.name}: torn trailer")
+        if foot_off + foot_len + _TRAILER.size != len(blob):
+            raise SegmentError(f"{self.path.name}: trailer offsets "
+                               "disagree with the file size")
+        footer = blob[foot_off:foot_off + foot_len]
+        if zlib.crc32(footer) != foot_crc:
+            raise SegmentError(f"{self.path.name}: footer checksum "
+                               "mismatch")
+        self._parse_footer(footer)
+        self.size_bytes = len(blob)
+
+    def _parse_footer(self, footer: bytes) -> None:
+        try:
+            (n_fields,) = _U32.unpack_from(footer, 0)
+            pos = _U32.size
+            order: list[str] = []
+            for _ in range(n_fields):
+                (name_len,) = _U16.unpack_from(footer, pos)
+                pos += _U16.size
+                name = footer[pos:pos + name_len].decode("utf-8")
+                pos += name_len
+                off, length, crc = struct.unpack_from("<QQI", footer, pos)
+                pos += 20
+                tag = footer[pos]
+                pos += 1
+                zone: Optional[tuple] = None
+                if tag:
+                    (lo_len,) = _U32.unpack_from(footer, pos)
+                    pos += _U32.size
+                    lo = _decode_value(tag, footer[pos:pos + lo_len])
+                    pos += lo_len
+                    (hi_len,) = _U32.unpack_from(footer, pos)
+                    pos += _U32.size
+                    hi = _decode_value(tag, footer[pos:pos + hi_len])
+                    pos += hi_len
+                    zone = (tag, lo, hi)
+                self._fields[name] = (off, length, crc, zone)
+                order.append(name)
+            (session_len,) = _U16.unpack_from(footer, pos)
+            pos += _U16.size
+            self.session = footer[pos:pos + session_len].decode("utf-8")
+            pos += session_len
+            self.seq, self.created_ns = struct.unpack_from("<IQ",
+                                                           footer, pos)
+            self.schema = order
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise SegmentError(
+                f"{self.path.name}: footer fails to parse") from exc
+
+    @property
+    def zones(self) -> dict[str, tuple]:
+        """``field -> (tag, min, max)`` for every zone-mapped field."""
+        return {name: entry[3] for name, entry in self._fields.items()
+                if entry[3] is not None}
+
+    def time_range(self) -> Optional[tuple[int, int]]:
+        """(min, max) of the ``time`` zone map, when numeric."""
+        zone = self._fields.get("time", (0, 0, 0, None))[3]
+        if zone is not None and zone[0] in (T_INT, T_FLOAT):
+            return zone[1], zone[2]
+        return None
+
+    def field(self, name: str) -> tuple[list[int], list[Any]]:
+        """``(present, values)`` for one field (decoded, memoised)."""
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        entry = self._fields.get(name)
+        if entry is None:
+            empty = ([0] * self.rows, [None] * self.rows)
+            self._cache[name] = empty
+            return empty
+        off, length, crc = entry[:3]
+        block = self._blob[off:off + length]
+        if zlib.crc32(block) != crc:
+            raise SegmentError(
+                f"{self.path.name}: block {name!r} checksum mismatch")
+        decoded = _decode_block(block, self.rows)
+        self._cache[name] = decoded
+        return decoded
+
+    def docs(self) -> list[dict]:
+        """Materialise every row as a document (schema key order)."""
+        if self._docs is not None:
+            return self._docs
+        columns = [(name, *self.field(name)) for name in self.schema]
+        docs: list[dict] = []
+        for i in range(self.rows):
+            doc = {}
+            for name, present, values in columns:
+                if present[i]:
+                    doc[name] = values[i]
+            docs.append(doc)
+        self._docs = docs
+        return docs
+
+    def may_match(self, constraints: list[tuple[str, str, Any]]) -> bool:
+        """Can any row satisfy every conjunctive constraint?
+
+        ``False`` is a proof (the planner may skip the segment without
+        decoding a block); ``True`` just means the zone maps could not
+        rule it out.
+        """
+        for field, kind, payload in constraints:
+            if field not in self._fields:
+                return False            # no row carries the field at all
+            zone = self._fields[field][3]
+            if zone is None:
+                continue
+            if kind == "eq":
+                if _zone_excludes_value(zone, payload):
+                    return False
+            elif kind == "in":
+                if all(_zone_excludes_value(zone, value)
+                       for value in payload):
+                    return False
+            elif kind == "range":
+                if _zone_excludes_range(zone, payload):
+                    return False
+        return True
+
+    def verify(self) -> dict:
+        """Recompute every checksum; returns ``{"ok": ..., "errors": [...]}``."""
+        errors: list[str] = []
+        for name, (off, length, crc, _zone) in self._fields.items():
+            block = self._blob[off:off + length]
+            if zlib.crc32(block) != crc:
+                errors.append(f"block {name!r}: checksum mismatch")
+                continue
+            try:
+                _decode_block(block, self.rows)
+            except SegmentError as exc:
+                errors.append(f"block {name!r}: {exc}")
+        return {"path": str(self.path), "rows": self.rows,
+                "blocks_checked": len(self._fields),
+                "ok": not errors, "errors": errors}
+
+    def __repr__(self) -> str:
+        return (f"<Segment {self.path.name} rows={self.rows} "
+                f"session={self.session!r} seq={self.seq}>")
+
+
+_NUMERIC_TAGS = (T_INT, T_FLOAT)
+
+
+def _zone_excludes_value(zone: tuple, value: Any) -> bool:
+    """Does the zone map prove ``value`` equals no row of the field?"""
+    tag, lo, hi = zone
+    cls = type(value)
+    if cls is bool:
+        value = int(value)
+        cls = int
+    if cls in (int, float):
+        if tag not in _NUMERIC_TAGS:
+            return True                 # pure-str field: no numeric row
+        if value != value:
+            return False                # NaN never proves anything
+        return value < lo or value > hi
+    if cls is str:
+        if tag != T_STR:
+            return True                 # pure-numeric field: no str row
+        return value < lo or value > hi
+    return False
+
+
+def _zone_excludes_range(zone: tuple, bounds: dict) -> bool:
+    """Does the zone map prove no row satisfies the range bounds?
+
+    The predicate treats a cross-type comparison (``TypeError``) as
+    no-match, so a numeric bound over a pure-str field — or a str
+    bound over a pure-numeric one — excludes the whole segment.
+    """
+    tag, lo, hi = zone
+    for op, bound in bounds.items():
+        cls = type(bound)
+        if cls is bool:
+            bound, cls = int(bound), int
+        if cls in (int, float):
+            if bound != bound:
+                continue                # NaN bound: never prune on it
+            if tag == T_STR:
+                return True             # str rows vs numeric bound
+            if tag not in _NUMERIC_TAGS:
+                continue
+        elif cls is str:
+            if tag in _NUMERIC_TAGS:
+                return True             # numeric rows vs str bound
+            if tag != T_STR:
+                continue
+        else:
+            continue                    # exotic bound: never prune
+        if op == "gte" and hi < bound:
+            return True
+        if op == "gt" and hi <= bound:
+            return True
+        if op == "lte" and lo > bound:
+            return True
+        if op == "lt" and lo >= bound:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the engine
+
+class SegmentStorage:
+    """Durable document storage over a directory of segments + a WAL.
+
+    ``append`` is the live path (WAL first, buffer second, automatic
+    flush at ``flush_events``); ``import_docs`` is the bulk path used
+    by ``save_session`` where the documents are already durable
+    elsewhere and the WAL hop would be pure overhead.  ``open`` cost is
+    O(number of segments): the manifest names the live files, each is
+    validated footer-first, and any file that fails — torn flush,
+    bit rot — is *dropped whole* and reported, never half-read.
+    """
+
+    def __init__(self, root: str | Path, *, flush_events: int = 4096,
+                 retention_ns: Optional[int] = None,
+                 clock: Optional[Callable[[], int]] = None,
+                 create: bool = True) -> None:
+        self.root = Path(root)
+        if not self.root.exists():
+            if not create:
+                raise SegmentError(f"no segment store at {self.root}")
+            self.root.mkdir(parents=True, exist_ok=True)
+        if flush_events < 1:
+            raise SegmentError("flush_events must be >= 1")
+        self.flush_events = flush_events
+        self.retention_ns = retention_ns
+        self._clock = clock or (lambda: 0)
+        self._segments: list[Segment] = []
+        self._buffer: list[dict] = []
+        self._buffer_session = ""
+        self._crash_hook: Optional[Callable[[str], None]] = None
+
+        # telemetry-backed counters
+        self.flushes_total = 0
+        self.wal_records_total = 0
+        self.wal_docs_total = 0
+        self.bytes_written_total = 0
+        self.compactions_total = 0
+        self.compacted_segments_total = 0
+        self.retention_dropped_total = 0
+        self.scan_considered_total = 0
+        self.scan_pruned_total = 0
+
+        self.open_report = {"segments_opened": 0, "segments_dropped": 0,
+                            "dropped": [], "orphans_removed": 0,
+                            "wal_docs_recovered": 0,
+                            "wal_torn_bytes_dropped": 0}
+        self._manifest = self._read_manifest()
+        for name in list(self._manifest["segments"]):
+            try:
+                self._segments.append(Segment(self.root / name))
+                self.open_report["segments_opened"] += 1
+            except SegmentError as exc:
+                self.open_report["segments_dropped"] += 1
+                self.open_report["dropped"].append(
+                    {"name": name, "error": str(exc)})
+                self._manifest["segments"].remove(name)
+        if self.open_report["segments_dropped"]:
+            self._write_manifest()
+        live = set(self._manifest["segments"])
+        for path in sorted(self.root.glob("*.dseg*")):
+            if path.name not in live:
+                # A crash between segment write and manifest update
+                # (flush or compaction) strands the file; its rows are
+                # still covered by the WAL / the old segments.
+                path.unlink(missing_ok=True)
+                self.open_report["orphans_removed"] += 1
+        self._wal = WriteAheadLog(self.root / WAL_NAME)
+        for session, docs in self._wal.open():
+            self._buffer.extend(docs)
+            if session and not self._buffer_session:
+                self._buffer_session = session
+        report = self._wal.report or {}
+        self.open_report["wal_docs_recovered"] = report.get(
+            "docs_recovered", 0)
+        self.open_report["wal_torn_bytes_dropped"] = report.get(
+            "torn_bytes_dropped", 0)
+
+    # -- manifest ------------------------------------------------------
+
+    def _read_manifest(self) -> dict:
+        path = self.root / MANIFEST_NAME
+        if not path.exists():
+            return {"format": MANIFEST_FORMAT, "next_seq": 1,
+                    "segments": []}
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SegmentError(f"corrupt manifest {path}") from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise SegmentError(
+                f"{path}: unsupported format {manifest.get('format')!r}")
+        return manifest
+
+    def _write_manifest(self) -> None:
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self._manifest, sort_keys=True,
+                                  indent=1) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- write path ----------------------------------------------------
+
+    def append(self, docs: list[dict], session: str = "") -> None:
+        """Durably accept documents (WAL first), flushing at the bound."""
+        if not docs:
+            return
+        record_bytes = self._wal.append(session, docs)
+        self.wal_records_total += 1
+        self.wal_docs_total += len(docs)
+        self.bytes_written_total += record_bytes
+        self._buffer.extend(docs)
+        if session and not self._buffer_session:
+            self._buffer_session = session
+        if len(self._buffer) >= self.flush_events:
+            self.flush()
+
+    def import_docs(self, docs: Iterable[dict], session: str = "") -> int:
+        """Bulk path: already-durable documents, no WAL hop.
+
+        Chunks straight into ``flush_events``-sized segments; the tail
+        shorter than one chunk becomes a final (small) segment rather
+        than a WAL entry, so the result is fully sealed.
+        """
+        total = 0
+        chunk: list[dict] = []
+        for doc in docs:
+            chunk.append(doc)
+            if len(chunk) >= self.flush_events:
+                self._flush_docs(chunk, session)
+                total += len(chunk)
+                chunk = []
+        if chunk:
+            self._flush_docs(chunk, session)
+            total += len(chunk)
+        return total
+
+    def _flush_docs(self, docs: list[dict], session: str) -> Segment:
+        seq = self._manifest["next_seq"]
+        name = f"seg-{seq:06d}.dseg"
+        meta = write_segment(self.root / name, docs, session=session,
+                             seq=seq, created_ns=self._clock())
+        if self._crash_hook is not None:
+            self._crash_hook("flush")
+        self._manifest["next_seq"] = seq + 1
+        self._manifest["segments"].append(name)
+        self._write_manifest()
+        segment = Segment(self.root / name)
+        self._segments.append(segment)
+        self.flushes_total += 1
+        self.bytes_written_total += meta["bytes"]
+        return segment
+
+    def flush(self) -> Optional[Segment]:
+        """Seal the buffered tail into a segment and truncate the WAL."""
+        if not self._buffer:
+            return None
+        segment = self._flush_docs(self._buffer, self._buffer_session)
+        self._buffer = []
+        self._buffer_session = ""
+        self._wal.reset()
+        return segment
+
+    def seal(self) -> None:
+        """Flush any tail and close the WAL (end of a tracing run)."""
+        self.flush()
+        self._wal.close()
+
+    def close(self) -> None:
+        self._wal.close()
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self, small_rows: Optional[int] = None) -> dict:
+        """Merge contiguous runs of small segments into one apiece.
+
+        A segment is *small* below ``small_rows`` (default: the flush
+        threshold).  Only runs that are contiguous in manifest order
+        merge, and the merged segment takes the run's position — so
+        the global document order (stable time sort over manifest
+        order) is exactly what it was before compaction.  Crash
+        safety: the merged file is written first, the manifest swap is
+        atomic, and the stale inputs are deleted last; a crash at any
+        point leaves one consistent view.
+        """
+        threshold = small_rows if small_rows is not None else self.flush_events
+        order = list(self._manifest["segments"])
+        by_name = {seg.path.name: seg for seg in self._segments}
+        runs: list[list[str]] = []
+        run: list[str] = []
+        for name in order:
+            if by_name[name].rows < threshold:
+                run.append(name)
+            else:
+                if len(run) > 1:
+                    runs.append(run)
+                run = []
+        if len(run) > 1:
+            runs.append(run)
+        if not runs:
+            return {"compactions": 0, "segments_merged": 0, "rows": 0}
+
+        merged_rows = 0
+        merged_names = 0
+        for run in runs:
+            docs: list[dict] = []
+            session = by_name[run[0]].session
+            for name in run:
+                docs.extend(by_name[name].docs())
+            seq = self._manifest["next_seq"]
+            new_name = f"seg-{seq:06d}.dseg"
+            meta = write_segment(self.root / new_name, docs,
+                                 session=session, seq=seq,
+                                 created_ns=self._clock())
+            if self._crash_hook is not None:
+                self._crash_hook("compact")
+            self._manifest["next_seq"] = seq + 1
+            position = self._manifest["segments"].index(run[0])
+            self._manifest["segments"] = [
+                name for name in self._manifest["segments"]
+                if name not in run]
+            self._manifest["segments"].insert(position, new_name)
+            self._write_manifest()
+            for name in run:
+                (self.root / name).unlink(missing_ok=True)
+            merged_rows += len(docs)
+            merged_names += len(run)
+            self.compactions_total += 1
+            self.compacted_segments_total += len(run)
+            self.bytes_written_total += meta["bytes"]
+        self._reload_segments()
+        return {"compactions": len(runs), "segments_merged": merged_names,
+                "rows": merged_rows}
+
+    def retain(self, now_ns: Optional[int] = None,
+               retention_ns: Optional[int] = None) -> dict:
+        """Drop whole segments older than the retention window.
+
+        A segment is dropped when the *newest* event it holds (the
+        ``time`` zone-map max) is older than ``now_ns - retention_ns``
+        — time-based retention at segment granularity, the LSM way.
+        Segments without a numeric time zone are never dropped.
+        """
+        window = retention_ns if retention_ns is not None else self.retention_ns
+        if window is None:
+            return {"segments_dropped": 0, "rows_dropped": 0}
+        cutoff = (now_ns if now_ns is not None else self._clock()) - window
+        dropped: list[str] = []
+        rows = 0
+        for segment in list(self._segments):
+            span = segment.time_range()
+            if span is not None and span[1] < cutoff:
+                dropped.append(segment.path.name)
+                rows += segment.rows
+        if not dropped:
+            return {"segments_dropped": 0, "rows_dropped": 0}
+        self._manifest["segments"] = [
+            name for name in self._manifest["segments"]
+            if name not in dropped]
+        self._write_manifest()
+        for name in dropped:
+            (self.root / name).unlink(missing_ok=True)
+        self._reload_segments()
+        self.retention_dropped_total += len(dropped)
+        return {"segments_dropped": len(dropped), "rows_dropped": rows}
+
+    def _reload_segments(self) -> None:
+        by_name = {seg.path.name: seg for seg in self._segments}
+        self._segments = [
+            by_name.get(name) or Segment(self.root / name)
+            for name in self._manifest["segments"]]
+
+    # -- read path -----------------------------------------------------
+
+    def segments(self) -> list[Segment]:
+        """Live segments in manifest (and therefore document) order."""
+        return list(self._segments)
+
+    def scan(self, query: Optional[dict] = None) -> list[dict]:
+        """Matching documents, zone-map pruned at segment granularity.
+
+        Segments whose zone maps prove the query's conjunctive
+        constraints unsatisfiable are skipped without decoding one
+        block; surviving segments (and the unflushed buffer) run the
+        compiled predicate per row.
+        """
+        predicate = compile_query(query)
+        constraints = prune_constraints(query)
+        out: list[dict] = []
+        for segment in self._segments:
+            self.scan_considered_total += 1
+            if constraints and not segment.may_match(constraints):
+                self.scan_pruned_total += 1
+                continue
+            out.extend(doc for doc in segment.docs() if predicate(doc))
+        out.extend(doc for doc in self._buffer if predicate(doc))
+        return out
+
+    def count(self, query: Optional[dict] = None) -> int:
+        """Number of matching documents (same pruning as :meth:`scan`)."""
+        return len(self.scan(query))
+
+    def all_docs(self) -> list[dict]:
+        """Every stored document in global stable time order."""
+        docs: list[dict] = []
+        for segment in self._segments:
+            docs.extend(segment.docs())
+        docs.extend(self._buffer)
+        return sort_docs(docs)
+
+    def load_into(self, store, index: str = "dio_trace",
+                  rename_to: Optional[str] = None) -> tuple[str, int]:
+        """Bulk-load every document into a :class:`DocumentStore`.
+
+        The twin of ``persistence.import_session``: same index fields,
+        same session stamping, same document order — a store loaded
+        from segments is indistinguishable from one loaded from the
+        JSON-lines oracle.
+        """
+        docs = self.all_docs()
+        session = rename_to or self.session() or "dio-session"
+        for doc in docs:
+            doc["session"] = session
+        store.ensure_index(index, indexed_fields=("syscall", "proc_name",
+                                                  "pid", "tid", "file_tag",
+                                                  "session", "time"))
+        store.bulk(index, docs)
+        return session, len(docs)
+
+    def session(self) -> Optional[str]:
+        """The session label of the stored capture (first segment's)."""
+        for segment in self._segments:
+            if segment.session:
+                return segment.session
+        return self._buffer_session or None
+
+    # -- health / snapshot ---------------------------------------------
+
+    def verify(self) -> dict:
+        """Full checksum sweep over every segment plus the WAL state."""
+        reports = [segment.verify() for segment in self._segments]
+        return {"ok": all(r["ok"] for r in reports),
+                "segments": reports,
+                "wal": dict(self._wal.report or {}),
+                "buffer_docs": len(self._buffer)}
+
+    def stats(self) -> dict:
+        segs = []
+        for segment in self._segments:
+            span = segment.time_range()
+            segs.append({"name": segment.path.name, "rows": segment.rows,
+                         "session": segment.session, "seq": segment.seq,
+                         "bytes": segment.size_bytes,
+                         "time_min": span[0] if span else None,
+                         "time_max": span[1] if span else None,
+                         "zone_fields": sorted(segment.zones)})
+        return {"root": str(self.root), "segments": segs,
+                "rows": sum(s["rows"] for s in segs) + len(self._buffer),
+                "buffer_docs": len(self._buffer),
+                "disk_bytes": self.disk_bytes()}
+
+    def disk_bytes(self) -> int:
+        """Total on-disk footprint: manifest + segments + WAL."""
+        total = 0
+        for name in (MANIFEST_NAME, WAL_NAME):
+            total += wal_file_size(self.root / name)
+        for segment in self._segments:
+            total += segment.size_bytes
+        return total
+
+    def snapshot(self, path: str | Path) -> dict:
+        """Archive the whole store (manifest, segments, WAL) to one file."""
+        self.flush()
+        path = Path(path)
+        names = [MANIFEST_NAME] + list(self._manifest["segments"])
+        if (self.root / WAL_NAME).exists():
+            names.append(WAL_NAME)
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+            for name in names:
+                archive.write(self.root / name, arcname=name)
+        return {"path": str(path), "members": len(names)}
+
+    @classmethod
+    def restore(cls, snapshot_path: str | Path, root: str | Path,
+                **kwargs) -> "SegmentStorage":
+        """Unpack a snapshot into ``root`` and open the store."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        with zipfile.ZipFile(snapshot_path) as archive:
+            for member in archive.namelist():
+                if os.path.basename(member) != member:
+                    raise SegmentError(
+                        f"snapshot member escapes the root: {member!r}")
+                archive.extract(member, root)
+        return cls(root, **kwargs)
+
+    # -- telemetry ------------------------------------------------------
+
+    def bind_telemetry(self, registry) -> None:
+        """Register the ``dio_segment_*`` families on a registry."""
+        for name, help_text, reader in (
+            ("dio_segment_flushes_total",
+             "Buffer flushes sealed into an immutable segment file.",
+             lambda: self.flushes_total),
+            ("dio_segment_wal_records_total",
+             "Batches framed into the storage write-ahead log.",
+             lambda: self.wal_records_total),
+            ("dio_segment_wal_docs_total",
+             "Documents made durable via the storage WAL.",
+             lambda: self.wal_docs_total),
+            ("dio_segment_bytes_written_total",
+             "Bytes written to segment files and the WAL.",
+             lambda: self.bytes_written_total),
+            ("dio_segment_compactions_total",
+             "Compaction passes that merged a run of small segments.",
+             lambda: self.compactions_total),
+            ("dio_segment_compacted_segments_total",
+             "Input segments consumed by compaction merges.",
+             lambda: self.compacted_segments_total),
+            ("dio_segment_retention_dropped_total",
+             "Segments dropped whole by time-based retention.",
+             lambda: self.retention_dropped_total),
+            ("dio_segment_scan_considered_total",
+             "Segments considered by zone-map pruned scans.",
+             lambda: self.scan_considered_total),
+            ("dio_segment_scan_pruned_total",
+             "Segments skipped without decoding a block because their "
+             "zone maps proved the query unsatisfiable.",
+             lambda: self.scan_pruned_total),
+        ):
+            registry.counter(name, help_text).set_function(reader)
+        registry.gauge(
+            "dio_segment_files",
+            "Immutable segment files currently live in the manifest.",
+        ).set_function(lambda: len(self._segments))
+        registry.gauge(
+            "dio_segment_rows",
+            "Rows stored across live segments plus the unflushed buffer.",
+        ).set_function(lambda: sum(s.rows for s in self._segments)
+                       + len(self._buffer))
+        registry.gauge(
+            "dio_segment_wal_pending_docs",
+            "Documents durable only in the WAL (buffered, unflushed).",
+        ).set_function(lambda: len(self._buffer))
+        registry.gauge(
+            "dio_segment_disk_bytes",
+            "On-disk footprint of the store: manifest + segments + WAL.",
+        ).set_function(self.disk_bytes)
+
+    def __repr__(self) -> str:
+        return (f"<SegmentStorage {self.root} segments="
+                f"{len(self._segments)} buffered={len(self._buffer)}>")

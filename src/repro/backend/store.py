@@ -1020,6 +1020,16 @@ def _response(index: str, total: int, window: list,
     return response
 
 
+def sort_key(value: Any):
+    """Total order over document field values (public alias).
+
+    The segment storage engine sorts rows with the same key the search
+    path uses, so a session round-tripped through segments reloads in
+    exactly the order a sorted JSON-lines export would produce.
+    """
+    return _sort_key(value)
+
+
 def _sort_key(value: Any):
     # None sorts first; mixed types compare by type name then value.
     if value is None:

@@ -1,0 +1,203 @@
+"""Binary write-ahead log for the segment storage engine.
+
+The WAL covers the *unflushed tail* of a :class:`~repro.backend.
+segments.SegmentStorage`: documents that have been acknowledged by the
+backend (or handed to ``save_session``) but not yet sealed into an
+immutable segment file.  On restart the log is replayed into the
+in-memory buffer, so a crash between two flushes loses nothing.
+
+The format is deliberately tiny (see ``docs/STORAGE.md`` for the
+byte-level spec):
+
+* an 8-byte file magic ``DIOWAL01`` (name + version in one token);
+* then zero or more self-delimiting records, each
+  ``u32 payload length | u32 CRC-32 of payload | payload``, where the
+  payload is a compact UTF-8 JSON array ``[session, [doc, ...]]``.
+
+Torn-write tolerance mirrors :meth:`repro.tracer.spill.SpillWAL.recover`:
+recovery walks records from the front and stops at the first frame
+whose length overruns the file or whose CRC does not match — everything
+before the tear is kept, the tear itself is truncated away, and the
+report says exactly what was dropped.  A record is therefore durable
+as soon as its last payload byte hit the disk, and never before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Optional
+
+#: File magic; the trailing ``01`` is the format version.
+WAL_MAGIC = b"DIOWAL01"
+
+#: Per-record frame: payload length, CRC-32 of the payload.
+_FRAME = struct.Struct("<II")
+
+
+class WALError(Exception):
+    """The write-ahead log cannot be opened or appended to."""
+
+
+def recover_bytes(blob: bytes) -> tuple[list[tuple[str, list[dict]]], dict]:
+    """Recover ``(session, docs)`` entries from a WAL image.
+
+    Tolerant by design: any torn tail — a half-written frame header, a
+    payload cut short, a CRC mismatch from a partial page write — ends
+    the scan without raising.  Returns ``(entries, report)`` where the
+    report carries ``header_ok``, ``records_recovered``,
+    ``docs_recovered`` and ``torn_bytes_dropped``.
+    """
+    report = {"header_ok": False, "records_recovered": 0,
+              "docs_recovered": 0, "torn_bytes_dropped": 0}
+    entries: list[tuple[str, list[dict]]] = []
+    if len(blob) < len(WAL_MAGIC) or blob[:len(WAL_MAGIC)] != WAL_MAGIC:
+        report["torn_bytes_dropped"] = len(blob)
+        return entries, report
+    report["header_ok"] = True
+    pos = len(WAL_MAGIC)
+    end = len(blob)
+    while pos + _FRAME.size <= end:
+        length, crc = _FRAME.unpack_from(blob, pos)
+        body_start = pos + _FRAME.size
+        if body_start + length > end:
+            break                       # frame overruns the file: torn
+        payload = blob[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            break                       # payload damaged: stop here
+        try:
+            entry = json.loads(payload.decode("utf-8"))
+            session, docs = entry
+            if not isinstance(docs, list):
+                raise ValueError("docs is not a list")
+        except (ValueError, UnicodeDecodeError):
+            break                       # CRC ok but not ours: stop
+        entries.append((session, docs))
+        report["records_recovered"] += 1
+        report["docs_recovered"] += len(docs)
+        pos = body_start + length
+    report["torn_bytes_dropped"] = end - pos
+    return entries, report
+
+
+def encode_record(session: str, docs: list[dict]) -> bytes:
+    """One framed WAL record (length | crc | payload) as bytes."""
+    payload = json.dumps([session, docs],
+                         separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """Append-only durable log of not-yet-flushed document batches.
+
+    ``open()`` recovers whatever an earlier process managed to write
+    (truncating any torn tail in place) and returns the recovered
+    entries so the owner can rebuild its buffer; ``append`` frames and
+    flushes one batch; ``reset`` truncates back to the bare header once
+    a segment flush has made the entries durable elsewhere.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.report: Optional[dict] = None
+        self._handle = None
+        self._size = 0
+
+    def open(self) -> list[tuple[str, list[dict]]]:
+        """Recover existing entries and open the log for appending."""
+        entries: list[tuple[str, list[dict]]] = []
+        if self.path.exists():
+            try:
+                blob = self.path.read_bytes()
+            except OSError as exc:
+                raise WALError(f"cannot read WAL {self.path}") from exc
+            entries, self.report = recover_bytes(blob)
+            keep = len(blob) - self.report["torn_bytes_dropped"]
+            if not self.report["header_ok"]:
+                keep = 0                # foreign file: start over
+            try:
+                self._handle = self.path.open("r+b" if keep else "wb")
+                if keep:
+                    self._handle.truncate(keep)
+                    self._handle.seek(keep)
+                else:
+                    self._handle.write(WAL_MAGIC)
+                    self._handle.flush()
+                    keep = len(WAL_MAGIC)
+            except OSError as exc:
+                raise WALError(f"cannot open WAL {self.path}") from exc
+            self._size = keep
+        else:
+            try:
+                self._handle = self.path.open("wb")
+                self._handle.write(WAL_MAGIC)
+                self._handle.flush()
+            except OSError as exc:
+                raise WALError(f"cannot create WAL {self.path}") from exc
+            self.report = {"header_ok": True, "records_recovered": 0,
+                           "docs_recovered": 0, "torn_bytes_dropped": 0}
+            self._size = len(WAL_MAGIC)
+        return entries
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently in the log, header included."""
+        return self._size
+
+    def append(self, session: str, docs: list[dict]) -> int:
+        """Frame and persist one batch; returns the record's byte size.
+
+        The record is flushed to the OS before returning, so a process
+        crash after ``append`` cannot lose it (a *machine* crash could
+        lose the last page — the simulation's durability line, same as
+        the spill WAL's).
+        """
+        if self._handle is None:
+            raise WALError("WAL is not open")
+        record = encode_record(session, docs)
+        try:
+            self._handle.write(record)
+            self._handle.flush()
+        except OSError as exc:
+            raise WALError(f"cannot append to WAL {self.path}") from exc
+        self._size += len(record)
+        return len(record)
+
+    def reset(self) -> None:
+        """Truncate back to the header after a segment flush."""
+        if self._handle is None:
+            raise WALError("WAL is not open")
+        self._handle.seek(len(WAL_MAGIC))
+        self._handle.truncate(len(WAL_MAGIC))
+        self._handle.flush()
+        self._size = len(WAL_MAGIC)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "open" if self._handle is not None else "closed"
+        return f"<WriteAheadLog {self.path} {state} {self._size}B>"
+
+
+def wal_file_size(path: str | Path) -> int:
+    """On-disk size of a WAL file (0 when absent)."""
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0

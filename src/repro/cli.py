@@ -18,6 +18,10 @@ table was generated from.  Traces can be kept for post-mortem work
     dio sessions buggy.jsonl fixed.jsonl      # list stored sessions
     dio analyze buggy.jsonl                   # run the detector battery
     dio compare buggy.jsonl fixed.jsonl       # first behavioural diff
+    dio segments /var/lib/dio/run --verify    # inspect a segment store
+
+Every TRACE argument accepts either a JSON-lines export or a segment
+store directory (docs/STORAGE.md) — the loader auto-detects.
 """
 
 from __future__ import annotations
@@ -91,11 +95,72 @@ def _cmd_rocksdb(args) -> int:
 
 def _load_traces(paths):
     from repro.backend import DocumentStore
-    from repro.backend.persistence import import_session
+    from repro.backend.persistence import load_session
 
+    # load_session auto-detects the on-disk layout, so every trace
+    # argument accepts a JSON-lines file or a segment-store directory.
     store = DocumentStore()
-    sessions = [import_session(store, path) for path in paths]
+    sessions = [load_session(store, path) for path in paths]
     return store, sessions
+
+
+def _cmd_segments(args) -> int:
+    import json
+
+    from repro.backend.segments import SegmentError, SegmentStorage
+    from repro.visualizer import render_table
+
+    try:
+        engine = SegmentStorage(args.store, create=False)
+    except SegmentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    exit_code = 0
+    report = {"stats": None, "open_report": engine.open_report}
+    if args.compact:
+        report["compaction"] = engine.compact()
+    if args.verify:
+        sweep = engine.verify()
+        report["verify"] = sweep
+        if not sweep["ok"]:
+            exit_code = 1
+    report["stats"] = stats = engine.stats()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return exit_code
+    rows = []
+    for seg in stats["segments"]:
+        span = ("-" if seg["time_min"] is None else
+                f"{seg['time_min']/1e9:.3f}s..{seg['time_max']/1e9:.3f}s")
+        rows.append([seg["name"], seg["rows"], seg["session"], span,
+                     f"{seg['bytes'] / 1024:.1f} KiB",
+                     len(seg["zone_fields"])])
+    print(render_table(
+        ["segment", "rows", "session", "time range", "size", "zones"],
+        rows))
+    print(f"\nrows: {stats['rows']}  (buffered in WAL: "
+          f"{stats['buffer_docs']})  on disk: "
+          f"{stats['disk_bytes'] / 1024:.1f} KiB")
+    if engine.open_report["segments_dropped"]:
+        dropped = engine.open_report["dropped"]
+        print(f"dropped {len(dropped)} damaged segment(s) on open:")
+        for entry in dropped:
+            print(f"  {entry['name']}: {entry['error']}")
+    if args.compact:
+        comp = report["compaction"]
+        print(f"compaction: {comp['compactions']} run(s) merged "
+              f"{comp['segments_merged']} segment(s) "
+              f"({comp['rows']} rows)")
+    if args.verify:
+        sweep = report["verify"]
+        status = "ok" if sweep["ok"] else "FAILED"
+        print(f"checksum sweep: {status} "
+              f"({sum(s['blocks_checked'] for s in sweep['segments'])} "
+              "blocks checked)")
+        for seg in sweep["segments"]:
+            for error in seg["errors"]:
+                print(f"  {seg['path']}: {error}")
+    return exit_code
 
 
 def _cmd_sessions(args) -> int:
@@ -487,10 +552,14 @@ def _cmd_dst_repro(args) -> int:
         print(f"dst: replaying scenario file {args.scenario}")
     else:
         scenario = generate(args.seed)
-    if args.ingest_mode:
+    if args.ingest_mode or args.storage_mode:
         import dataclasses
-        scenario = dataclasses.replace(scenario,
-                                       ingest_mode=args.ingest_mode)
+        overrides = {}
+        if args.ingest_mode:
+            overrides["ingest_mode"] = args.ingest_mode
+        if args.storage_mode:
+            overrides["storage_mode"] = args.storage_mode
+        scenario = dataclasses.replace(scenario, **overrides)
     print(f"dst: {scenario.describe()}")
     result = run_scenario(scenario)
     if result.ok:
@@ -558,6 +627,19 @@ def main(argv: list[str] | None = None) -> int:
                                 help="list sessions stored in trace files")
     p_sessions.add_argument("traces", nargs="+", metavar="TRACE")
     p_sessions.set_defaults(func=_cmd_sessions)
+
+    p_segments = sub.add_parser(
+        "segments",
+        help="inspect a segment store (rows, time ranges, zone maps)")
+    p_segments.add_argument("store", metavar="DIR",
+                            help="segment store directory")
+    p_segments.add_argument("--compact", action="store_true",
+                            help="merge contiguous runs of small segments")
+    p_segments.add_argument("--verify", action="store_true",
+                            help="recompute every block/footer checksum")
+    p_segments.add_argument("--json", action="store_true",
+                            help="machine-readable report")
+    p_segments.set_defaults(func=_cmd_segments)
 
     p_analyze = sub.add_parser(
         "analyze", help="run the misbehaviour detectors on trace files")
@@ -695,6 +777,11 @@ def main(argv: list[str] | None = None) -> int:
                              help="override the scenario's ingest axis "
                                   "(e.g. to bisect a vectorized-only "
                                   "failure)")
+    p_dst_repro.add_argument("--storage-mode",
+                             choices=("segments", "jsonl"),
+                             help="override the scenario's storage axis "
+                                  "(segments adds the segment-engine "
+                                  "recovery checks)")
     p_dst_repro.add_argument("--save", metavar="PATH",
                              help="write the shrunk scenario to PATH")
     p_dst_repro.set_defaults(func=_cmd_dst_repro)

@@ -20,6 +20,10 @@
 6. **storage recovery** — the session export is torn at a seed-chosen
    byte and recovered; the spill WAL image likewise.  Data loss beyond
    the torn tail, duplicates after replay, or a crash fail the seed.
+   Scenarios on the ``storage_mode="segments"`` axis additionally run
+   :func:`segment_storage_checks`: the segment store is diffed against
+   the JSON-lines oracle, a segment file and the storage WAL are torn
+   at arbitrary bytes, and a crash is injected mid-compaction.
 
 Every stage is deterministic, so a failing seed reproduces with
 ``dio dst repro <seed>`` forever (or from its saved scenario JSON).
@@ -482,6 +486,170 @@ def storage_recovery_checks(run: PipelineRun, scenario: Scenario,
         failures.append("spill WAL round-trip mutated segment payloads")
     if wal_report["segments_recovered"] > 2:
         failures.append("torn spill WAL recovered phantom segments")
+
+    if scenario.storage_mode == "segments":
+        failures += segment_storage_checks(run, scenario, tmp_dir)
+    return failures
+
+
+def segment_storage_checks(run: PipelineRun, scenario: Scenario,
+                           tmp_dir) -> list[str]:
+    """Segment-engine recovery checks (``storage_mode="segments"``).
+
+    Four stages, all seeded from the scenario: the segment store must
+    load identically to the JSON-lines oracle; a segment file torn at
+    an arbitrary byte must be rejected whole without touching its
+    neighbours; a torn storage WAL must recover exactly the complete
+    frames of the prefix; and a crash injected mid-compaction must
+    leave a store that reopens clean and compacts successfully.
+    """
+    import pathlib
+    import shutil
+
+    from repro.backend.persistence import load_session, save_session
+    from repro.backend.segments import WAL_NAME, SegmentStorage
+
+    failures: list[str] = []
+    if not run.docs:
+        return failures
+    rng = random.Random(f"dio-dst-segments-{scenario.seed}")
+    tmp_dir = pathlib.Path(tmp_dir)
+    docs = [source for _, source in run.docs]
+    # Small segments on purpose: several files per store, so tearing
+    # one and compacting the rest both have something to chew on.
+    flush = max(4, len(docs) // 5)
+
+    # Differential oracle: the same session saved both ways must load
+    # back with identical contents.
+    seg_root = tmp_dir / "segstore"
+    save_session(run.inner_store, run.session, seg_root, index=DST_INDEX,
+                 storage_mode="segments", flush_events=flush)
+    via_segments = DocumentStore()
+    load_session(via_segments, seg_root, index=DST_INDEX,
+                 rename_to="segcheck")
+    oracle_path = tmp_dir / f"segcheck-{scenario.seed}.jsonl"
+    export_session(run.inner_store, run.session, oracle_path,
+                   index=DST_INDEX)
+    via_jsonl = DocumentStore()
+    import_session(via_jsonl, oracle_path, index=DST_INDEX,
+                   rename_to="segcheck")
+    seg_docs = [s for _, s in via_segments.scan(DST_INDEX,
+                                                {"match_all": {}})]
+    ora_docs = [s for _, s in via_jsonl.scan(DST_INDEX, {"match_all": {}})]
+    if (json.dumps(seg_docs, sort_keys=True)
+            != json.dumps(ora_docs, sort_keys=True)):
+        failures.append(
+            f"segment store: loaded session differs from the jsonl "
+            f"oracle ({len(seg_docs)} vs {len(ora_docs)} docs)")
+
+    engine = SegmentStorage(seg_root, flush_events=flush, create=False)
+    if not engine.verify()["ok"]:
+        failures.append("segment store: checksum verify failed after save")
+
+    # Zone-pruned scan vs. the unpruned predicate over every document.
+    times = sorted(d.get("time", 0) for d in docs)
+    lo = times[len(times) // 3]
+    hi = times[2 * len(times) // 3]
+    window = {"range": {"time": {"gte": lo, "lte": hi}}}
+    from repro.backend.query import compile_query
+    predicate = compile_query(window)
+    pruned = sorted(json.dumps(d, sort_keys=True)
+                    for d in engine.scan(window))
+    full = sorted(json.dumps(d, sort_keys=True)
+                  for d in engine.all_docs() if predicate(d))
+    if pruned != full:
+        failures.append(
+            f"segment store: zone-pruned scan returned {len(pruned)} "
+            f"docs, unpruned predicate {len(full)}")
+
+    # Torn segment: truncate one file at an arbitrary byte; reopening
+    # must drop exactly that segment and keep every neighbour intact.
+    torn_root = tmp_dir / "segstore-torn"
+    shutil.copytree(seg_root, torn_root)
+    victims = sorted(torn_root.glob("*.dseg"))
+    victim = victims[rng.randrange(len(victims))]
+    blob = victim.read_bytes()
+    victim.write_bytes(blob[:rng.randrange(0, len(blob))])
+    victim_rows = next(s.rows for s in engine._segments
+                       if s.path.name == victim.name)
+    torn_engine = SegmentStorage(torn_root, flush_events=flush,
+                                 create=False)
+    if torn_engine.open_report["segments_dropped"] != 1:
+        failures.append(
+            f"torn segment: expected 1 dropped segment, reopen dropped "
+            f"{torn_engine.open_report['segments_dropped']}")
+    elif torn_engine.count() != engine.count() - victim_rows:
+        failures.append(
+            f"torn segment: survivors hold {torn_engine.count()} rows, "
+            f"expected {engine.count() - victim_rows}")
+    elif not torn_engine.verify()["ok"]:
+        failures.append("torn segment: surviving store fails verify")
+    torn_engine.close()
+
+    # Torn storage WAL: unflushed appends, then a cut at an arbitrary
+    # byte; recovery must yield a whole-frame prefix, nothing invented.
+    wal_root = tmp_dir / "segstore-wal"
+    head = docs[:min(len(docs), 12)]
+    writer = SegmentStorage(wal_root, flush_events=len(head) + 1)
+    for start in range(0, len(head), 4):
+        writer.append(head[start:start + 4], session="segcheck")
+    writer.close()
+    wal_path = wal_root / WAL_NAME
+    image = wal_path.read_bytes()
+    wal_path.write_bytes(image[:rng.randrange(1, len(image))])
+    reader = SegmentStorage(wal_root, flush_events=len(head) + 1,
+                            create=False)
+    recovered = reader._buffer
+    boundaries = set(range(0, len(head) + 1, 4)) | {len(head)}
+    if len(recovered) not in boundaries:
+        failures.append(
+            f"torn storage WAL: {len(recovered)} docs recovered, not a "
+            f"whole-frame prefix of {len(head)}")
+    elif recovered != head[:len(recovered)]:
+        failures.append(
+            "torn storage WAL: recovered docs are not a faithful "
+            "prefix of the appended documents")
+    reader.close()
+
+    # Mid-compaction crash: the merged file is written but the
+    # manifest swap never happens.  Reopening must see the
+    # pre-compaction store (orphan removed) and a retry must succeed.
+    crash_root = tmp_dir / "segstore-crash"
+    crash_engine = SegmentStorage(crash_root, flush_events=4)
+    loaded = crash_engine.import_docs(docs[:min(len(docs), 24)],
+                                      session="segcheck")
+
+    def _crash(stage: str) -> None:
+        if stage == "compact":
+            raise RuntimeError("dst: injected mid-compaction crash")
+
+    crash_engine._crash_hook = _crash
+    crashed = False
+    try:
+        crash_engine.compact(small_rows=64)
+    except RuntimeError:
+        crashed = True
+    crash_engine.close()
+    survivor = SegmentStorage(crash_root, flush_events=4, create=False)
+    if survivor.count() != loaded:
+        failures.append(
+            f"compaction crash: store holds {survivor.count()} rows "
+            f"after reopen, expected {loaded}")
+    if not survivor.verify()["ok"]:
+        failures.append("compaction crash: reopened store fails verify")
+    if crashed and not survivor.open_report["orphans_removed"]:
+        failures.append(
+            "compaction crash: the half-written merged segment was "
+            "not cleaned up on reopen")
+    survivor.compact(small_rows=64)
+    if survivor.count() != loaded:
+        failures.append(
+            f"compaction retry: row count drifted to {survivor.count()}, "
+            f"expected {loaded}")
+    if not survivor.verify()["ok"]:
+        failures.append("compaction retry: compacted store fails verify")
+    survivor.close()
+    engine.close()
     return failures
 
 

@@ -93,6 +93,11 @@ class Scenario:
     #: differential oracle).  Corpus files predating this axis default
     #: to the production path.
     ingest_mode: str = "vectorized"
+    #: On-disk format exercised by the post-run storage checks:
+    #: "segments" (WAL + columnar segment files, docs/STORAGE.md) or
+    #: "jsonl" (the oracle export).  Corpus files predating this axis
+    #: default to the original JSON-lines checks.
+    storage_mode: str = "jsonl"
     #: FaultWindow dicts (``start_ns``/``end_ns``/``kind``/...).
     fault_windows: list = dataclasses.field(default_factory=list)
     #: Virtual times at which the consumer process is killed.
@@ -159,7 +164,8 @@ class Scenario:
                 f"ring={self.ring_policy} faults={len(self.fault_windows)} "
                 f"ckills={len(self.consumer_crashes)} "
                 f"scrashes={len(self.store_crashes)} "
-                f"ingest={self.ingest_mode}")
+                f"ingest={self.ingest_mode} "
+                f"storage={self.storage_mode}")
 
 
 # ----------------------------------------------------------------------
@@ -393,6 +399,7 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
     # byte-identical.  Weighted toward the production path; the legacy
     # twin still runs as the oracle either way.
     ingest_rng = random.Random(f"dio-dst-ingest-{seed}")
+    storage_rng = random.Random(f"dio-dst-storage-mode-{seed}")
 
     return Scenario(
         seed=seed,
@@ -412,5 +419,6 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
         store_crashes=store_crashes,
         ingest_mode=ingest_rng.choice(("vectorized", "vectorized",
                                        "legacy")),
+        storage_mode=storage_rng.choice(("segments", "segments", "jsonl")),
         processes=processes,
     )

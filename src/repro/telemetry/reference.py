@@ -46,6 +46,11 @@ _SECTIONS = (
     ("dio_spill_", "Spill WAL",
      "The dead-letter write-ahead log: batches that exhausted their "
      "retries, kept for replay on recovery."),
+    ("dio_segment_", "Segment storage engine",
+     "Local durable storage (``storage_dir``): acknowledged batches "
+     "land in a write-ahead log and are sealed into immutable "
+     "columnar segment files with zone maps and checksummed footers "
+     "(byte layout in docs/STORAGE.md).  See ``dio segments``."),
     ("dio_faults_", "Fault injection",
      "Only present when the backend is wrapped in a "
      "``repro.faults.FaultyStore`` (tests, ``dio resilience``)."),
@@ -101,6 +106,8 @@ def build_reference_registry() -> MetricsRegistry:
     cleanly so the correlator and derived health gauges bind too.
     Deterministic by construction (virtual clock, fixed seeds).
     """
+    import tempfile
+
     from repro.backend import DocumentStore
     from repro.faults import FaultPlan, FaultyStore
     from repro.kernel import O_CREAT, O_WRONLY, Kernel
@@ -113,20 +120,23 @@ def build_reference_registry() -> MetricsRegistry:
     kernel = Kernel(env, ncpus=1)
     faulty = FaultyStore(DocumentStore(), FaultPlan(),
                          clock=lambda: env.now)
-    tracer = DIOTracer(env, kernel, faulty,
-                       TracerConfig(session_name="reference"),
-                       tap=DiagnosisTap())
-    task = kernel.spawn_process("ref").threads[0]
-    tracer.attach()
+    with tempfile.TemporaryDirectory() as storage_dir:
+        tracer = DIOTracer(env, kernel, faulty,
+                           TracerConfig(session_name="reference",
+                                        storage_dir=storage_dir,
+                                        storage_mode="segments"),
+                           tap=DiagnosisTap())
+        task = kernel.spawn_process("ref").threads[0]
+        tracer.attach()
 
-    def main():
-        fd = yield from kernel.syscall(task, "open", path="/ref",
-                                       flags=O_CREAT | O_WRONLY)
-        yield from kernel.syscall(task, "write", fd=fd, data=b"x")
-        yield from kernel.syscall(task, "close", fd=fd)
-        yield from tracer.shutdown()
+        def main():
+            fd = yield from kernel.syscall(task, "open", path="/ref",
+                                           flags=O_CREAT | O_WRONLY)
+            yield from kernel.syscall(task, "write", fd=fd, data=b"x")
+            yield from kernel.syscall(task, "close", fd=fd)
+            yield from tracer.shutdown()
 
-    env.run(until=env.process(main()))
+        env.run(until=env.process(main()))
 
     from repro.dst.campaign import CampaignStats
     CampaignStats().bind_telemetry(tracer.telemetry.registry)

@@ -20,6 +20,15 @@ from repro.kernel.syscalls import SYSCALLS
 #: differential oracle, same pattern as plan_mode/agg_mode).
 INGEST_MODES = ("vectorized", "legacy")
 
+#: On-disk layouts for local persistence (``storage_dir``): "segments"
+#: streams acknowledged events through a WAL into immutable columnar
+#: segment files (docs/STORAGE.md); "jsonl" exports one JSON-lines
+#: file per session at shutdown (the differential oracle).  Kept in
+#: sync with ``repro.backend.persistence.STORAGE_MODES`` (asserted in
+#: tests) — importing it here would pull the whole backend into every
+#: config parse.
+STORAGE_MODES = ("segments", "jsonl")
+
 
 @dataclasses.dataclass
 class TracerConfig:
@@ -42,6 +51,17 @@ class TracerConfig:
     index: str = "dio_trace"
     #: Run the file-path correlation automatically when tracing stops.
     correlate_on_stop: bool = True
+
+    # -- local persistence (segment storage engine) ---------------------
+    #: Directory for local durable storage of acknowledged events.
+    #: ``None`` disables local persistence (backend-only, the default).
+    storage_dir: Optional[str] = None
+    #: On-disk layout under ``storage_dir``: "segments" (WAL + immutable
+    #: columnar segments, see docs/STORAGE.md) or "jsonl" (one
+    #: JSON-lines export written at shutdown — the oracle format).
+    storage_mode: str = "segments"
+    #: Buffered events that trigger sealing a segment (segments mode).
+    storage_flush_events: int = 4096
 
     # -- ring buffer (paper §III-D: 256 MiB per CPU core) ---------------
     ring_capacity_bytes_per_cpu: int = 256 * 1024 * 1024
@@ -138,6 +158,12 @@ class TracerConfig:
             raise ValueError(
                 f"unknown ingest mode {self.ingest_mode!r};"
                 " pick 'vectorized' or 'legacy'")
+        if self.storage_mode not in STORAGE_MODES:
+            raise ValueError(
+                f"unknown storage mode {self.storage_mode!r};"
+                " pick 'segments' or 'jsonl'")
+        if self.storage_flush_events < 1:
+            raise ValueError("storage flush threshold must be >= 1")
         if self.ship_retry_backoff_ns <= 0:
             raise ValueError("retry backoff base must be positive")
         if self.backoff_cap_ns < self.ship_retry_backoff_ns:
@@ -187,6 +213,11 @@ class TracerConfig:
             backpressure_policy = "drop"
             breaker_failure_threshold = 5
             spill_enabled = true
+
+            [storage]
+            dir = "/var/lib/dio/run-42"
+            mode = "segments"
+            flush_events = 4096
         """
         data = tomllib.loads(text)
         tracer = data.get("tracer", {})
@@ -216,6 +247,13 @@ class TracerConfig:
             kwargs["ingest_mode"] = str(backend["ingest_mode"])
         if "correlate_on_stop" in backend:
             kwargs["correlate_on_stop"] = bool(backend["correlate_on_stop"])
+        storage = data.get("storage", {})
+        if "dir" in storage:
+            kwargs["storage_dir"] = str(storage["dir"])
+        if "mode" in storage:
+            kwargs["storage_mode"] = str(storage["mode"])
+        if "flush_events" in storage:
+            kwargs["storage_flush_events"] = int(storage["flush_events"])
         telemetry = data.get("telemetry", {})
         if "enabled" in telemetry:
             kwargs["telemetry_enabled"] = bool(telemetry["enabled"])

@@ -248,6 +248,20 @@ class DIOTracer:
         self._batcher = AdaptiveBatcher(self.config.batch_min_size,
                                         self.config.batch_size)
         self._spill = SpillWAL()
+        #: Local durable mirror of acknowledged events (the segment
+        #: storage engine, docs/STORAGE.md).  Every batch lands here
+        #: right after the backend acknowledges it — WAL first, sealed
+        #: into an immutable segment at the flush threshold — so a
+        #: host can rebuild its trace history without the backend.
+        #: ``storage_mode="jsonl"`` defers to one export at shutdown.
+        self.storage = None
+        if (self.config.storage_dir is not None
+                and self.config.storage_mode == "segments"):
+            from repro.backend.segments import SegmentStorage
+            self.storage = SegmentStorage(
+                self.config.storage_dir,
+                flush_events=self.config.storage_flush_events,
+                clock=lambda: env.now)
         self._staged: deque[_StagedBatch] = deque()
         self._staged_events = 0
         self._next_attempt_ns = 0
@@ -295,6 +309,8 @@ class DIOTracer:
             "Circuit-breaker transitions back into CLOSED.",
         ).set_function(lambda: self._breaker.closed_total)
         self._spill.bind_telemetry(registry)
+        if self.storage is not None:
+            self.storage.bind_telemetry(registry)
         if self.telemetry.enabled:
             self.ring.bind_telemetry(registry)
             self.filter.bind_telemetry(registry)
@@ -405,6 +421,26 @@ class DIOTracer:
             with self.telemetry.span("correlator.correlate"):
                 self.correlation_report = correlator.correlate(
                     self.config.index, session=self.config.session_name)
+        if self.storage is not None:
+            # Seal the unflushed tail into a final segment.  The local
+            # store mirrors events *as acknowledged* (pre-correlation);
+            # `dio sessions export --storage-mode segments` persists
+            # the annotated post-correlation state instead.
+            self.storage.seal()
+        elif self.config.storage_dir is not None:
+            from pathlib import Path
+
+            from repro.backend.persistence import (SessionError,
+                                                   export_session)
+            directory = Path(self.config.storage_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            try:
+                export_session(
+                    self.store, self.config.session_name,
+                    directory / f"{self.config.session_name}.jsonl",
+                    index=self.config.index)
+            except SessionError:
+                pass    # nothing reached the backend: nothing to keep
 
     # ------------------------------------------------------------------
     # Kernel space (eBPF programs)
@@ -487,6 +523,21 @@ class DIOTracer:
         else:
             self.store.bulk(self.config.index, docs)
 
+    def _persist(self, docs) -> None:
+        """Mirror one acknowledged batch into local segment storage.
+
+        Called on the ship-success path only: the local store holds
+        exactly what the backend has acknowledged, never more.  A
+        RecordBatch materialises its documents on the way down (the
+        WAL frames JSON) — the cost of durability, paid only when
+        ``storage_dir`` is configured.
+        """
+        if self.storage is None:
+            return
+        payload = docs.to_docs() if isinstance(docs, RecordBatch) else docs
+        self.storage.append(list(payload),
+                            session=self.config.session_name)
+
     def _on_ship_success(self) -> None:
         self._breaker.record_success()
         self._batcher.on_success()
@@ -547,6 +598,7 @@ class DIOTracer:
         self._staged_events -= len(docs)
         self._m_shipped.inc(len(docs))
         self._m_batches.inc()
+        self._persist(docs)
         self._on_ship_success()
         penalty = self._store_penalty_ns()
         if penalty:
@@ -579,6 +631,7 @@ class DIOTracer:
         self._spill.pop()
         self._m_shipped.inc(len(docs))
         self._m_batches.inc()
+        self._persist(docs)
         self._on_ship_success()
         penalty = self._store_penalty_ns()
         if penalty:
