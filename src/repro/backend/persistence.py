@@ -216,7 +216,9 @@ def load_session(store: DocumentStore, path: str | Path,
         return import_session(store, path, index=index, rename_to=rename_to)
     from repro.backend.segments import SegmentError, SegmentStorage
     try:
-        engine = SegmentStorage(path, create=False)
+        # Loading is a read: open read-only so a damaged store is
+        # reported, not rewritten, by the act of looking at it.
+        engine = SegmentStorage(path, create=False, read_only=True)
         session, count = engine.load_into(store, index=index,
                                           rename_to=rename_to)
         engine.close()

@@ -33,10 +33,13 @@ JSON-lines stays as the differential oracle: a session saved with
 documents, same order — rows are sorted with the search path's own
 :func:`repro.backend.store.sort_key`).  Torn-write durability at any
 byte is proven by the DST harness: a truncated segment fails its
-trailer/footer checksum and is dropped whole (its rows are still in
-the WAL or older segments), a truncated WAL recovers its intact
-prefix, and a crash mid-compaction leaves either the old manifest or
-the new one — never a mix.
+trailer/footer checksum and is rejected whole — quarantined as
+``*.damaged``, never deleted — while its rows are still in the WAL or
+older segments; a truncated WAL recovers its intact prefix; a crash
+mid-compaction leaves either the old manifest or the new one — never
+a mix; and a crash between a flush publishing its segment and the WAL
+reset cannot duplicate rows, because the manifest's ``wal_sealed``
+watermark tells replay which WAL records are already sealed.
 """
 
 from __future__ import annotations
@@ -500,10 +503,20 @@ class Segment:
 
         ``False`` is a proof (the planner may skip the segment without
         decoding a block); ``True`` just means the zone maps could not
-        rule it out.
+        rule it out.  Two traps keep this conservative: ``get_field``
+        resolves a dotted name like ``a.b`` *inside* the root column
+        ``a``'s nested values — invisible to zone maps — so a dotted
+        constraint never prunes while the root column exists; and an
+        ``eq None`` / ``in [..., None]`` constraint is satisfied by
+        rows that lack the field entirely, so a missing column only
+        excludes when the payload cannot match absence.
         """
         for field, kind, payload in constraints:
+            if "." in field and field.split(".", 1)[0] in self._fields:
+                continue                # nested values may satisfy it
             if field not in self._fields:
+                if _matches_absent_field(kind, payload):
+                    continue            # absent rows resolve to None
                 return False            # no row carries the field at all
             zone = self._fields[field][3]
             if zone is None:
@@ -542,6 +555,20 @@ class Segment:
 
 
 _NUMERIC_TAGS = (T_INT, T_FLOAT)
+
+
+def _matches_absent_field(kind: str, payload: Any) -> bool:
+    """Could a row *without* the field still satisfy the constraint?
+
+    ``get_field`` yields ``None`` for an absent field, which equals an
+    explicit ``None`` term; range bounds never match ``None`` (the
+    compiled predicate treats the ``TypeError`` as no-match).
+    """
+    if kind == "eq":
+        return payload is None
+    if kind == "in":
+        return any(value is None for value in payload)
+    return False
 
 
 def _zone_excludes_value(zone: tuple, value: Any) -> bool:
@@ -614,15 +641,26 @@ class SegmentStorage:
     O(number of segments): the manifest names the live files, each is
     validated footer-first, and any file that fails — torn flush,
     bit rot — is *dropped whole* and reported, never half-read.
+
+    A damaged segment is **quarantined**, not destroyed: the file is
+    renamed to ``<name>.damaged`` (outside the orphan sweep) so the
+    bytes stay available for the hand-salvage recipe in
+    ``docs/STORAGE.md``.  With ``read_only=True`` the open changes
+    nothing at all — no manifest rewrite, no quarantine rename, no
+    orphan sweep, no WAL truncation — and every mutating method
+    raises; this is what ``dio segments`` (without ``--compact``) and
+    ``load_session`` use, so inspecting or loading a store can never
+    make its damage worse.
     """
 
     def __init__(self, root: str | Path, *, flush_events: int = 4096,
                  retention_ns: Optional[int] = None,
                  clock: Optional[Callable[[], int]] = None,
-                 create: bool = True) -> None:
+                 create: bool = True, read_only: bool = False) -> None:
         self.root = Path(root)
+        self.read_only = read_only
         if not self.root.exists():
-            if not create:
+            if not create or read_only:
                 raise SegmentError(f"no segment store at {self.root}")
             self.root.mkdir(parents=True, exist_ok=True)
         if flush_events < 1:
@@ -633,6 +671,7 @@ class SegmentStorage:
         self._segments: list[Segment] = []
         self._buffer: list[dict] = []
         self._buffer_session = ""
+        self._buffer_wal_id = 0
         self._crash_hook: Optional[Callable[[str], None]] = None
 
         # telemetry-backed counters
@@ -649,6 +688,7 @@ class SegmentStorage:
         self.open_report = {"segments_opened": 0, "segments_dropped": 0,
                             "dropped": [], "orphans_removed": 0,
                             "wal_docs_recovered": 0,
+                            "wal_docs_skipped_sealed": 0,
                             "wal_torn_bytes_dropped": 0}
         self._manifest = self._read_manifest()
         for name in list(self._manifest["segments"]):
@@ -657,27 +697,52 @@ class SegmentStorage:
                 self.open_report["segments_opened"] += 1
             except SegmentError as exc:
                 self.open_report["segments_dropped"] += 1
-                self.open_report["dropped"].append(
-                    {"name": name, "error": str(exc)})
+                entry = {"name": name, "error": str(exc)}
+                if not self.read_only:
+                    # Quarantine, never destroy: the damaged bytes are
+                    # the only copy a hand salvage could work from.
+                    quarantine = name + ".damaged"
+                    try:
+                        os.replace(self.root / name,
+                                   self.root / quarantine)
+                    except OSError:
+                        pass            # e.g. the file is gone entirely
+                    else:
+                        entry["quarantined"] = quarantine
+                self.open_report["dropped"].append(entry)
                 self._manifest["segments"].remove(name)
-        if self.open_report["segments_dropped"]:
+        if self.open_report["segments_dropped"] and not self.read_only:
             self._write_manifest()
-        live = set(self._manifest["segments"])
-        for path in sorted(self.root.glob("*.dseg*")):
-            if path.name not in live:
-                # A crash between segment write and manifest update
-                # (flush or compaction) strands the file; its rows are
-                # still covered by the WAL / the old segments.
-                path.unlink(missing_ok=True)
-                self.open_report["orphans_removed"] += 1
+        if not self.read_only:
+            live = set(self._manifest["segments"])
+            for path in sorted(self.root.glob("*.dseg*")):
+                if path.name.endswith(".damaged"):
+                    continue            # quarantined evidence, keep it
+                if path.name not in live:
+                    # A crash between segment write and manifest update
+                    # (flush or compaction) strands the file; its rows
+                    # are still covered by the WAL / the old segments.
+                    path.unlink(missing_ok=True)
+                    self.open_report["orphans_removed"] += 1
         self._wal = WriteAheadLog(self.root / WAL_NAME)
-        for session, docs in self._wal.open():
+        wal_sealed = self._manifest.get("wal_sealed", 0)
+        for rec_id, session, docs in self._wal.open(
+                read_only=self.read_only):
+            if 1 <= rec_id <= wal_sealed:
+                # The record survived a crash between the manifest
+                # publish and the WAL reset; its docs are already in a
+                # sealed segment, so replaying would duplicate them.
+                self.open_report["wal_docs_skipped_sealed"] += len(docs)
+                continue
             self._buffer.extend(docs)
+            self._buffer_wal_id = max(self._buffer_wal_id, rec_id)
             if session and not self._buffer_session:
                 self._buffer_session = session
+        self._wal.ensure_next_id(wal_sealed + 1)
         report = self._wal.report or {}
-        self.open_report["wal_docs_recovered"] = report.get(
-            "docs_recovered", 0)
+        self.open_report["wal_docs_recovered"] = (
+            report.get("docs_recovered", 0)
+            - self.open_report["wal_docs_skipped_sealed"])
         self.open_report["wal_torn_bytes_dropped"] = report.get(
             "torn_bytes_dropped", 0)
 
@@ -687,7 +752,7 @@ class SegmentStorage:
         path = self.root / MANIFEST_NAME
         if not path.exists():
             return {"format": MANIFEST_FORMAT, "next_seq": 1,
-                    "segments": []}
+                    "segments": [], "wal_sealed": 0}
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
@@ -706,15 +771,22 @@ class SegmentStorage:
 
     # -- write path ----------------------------------------------------
 
+    def _require_writable(self, op: str) -> None:
+        if self.read_only:
+            raise SegmentError(
+                f"store {self.root} is open read-only: {op} refused")
+
     def append(self, docs: list[dict], session: str = "") -> None:
         """Durably accept documents (WAL first), flushing at the bound."""
         if not docs:
             return
-        record_bytes = self._wal.append(session, docs)
+        self._require_writable("append")
+        rec_id, record_bytes = self._wal.append(session, docs)
         self.wal_records_total += 1
         self.wal_docs_total += len(docs)
         self.bytes_written_total += record_bytes
         self._buffer.extend(docs)
+        self._buffer_wal_id = max(self._buffer_wal_id, rec_id)
         if session and not self._buffer_session:
             self._buffer_session = session
         if len(self._buffer) >= self.flush_events:
@@ -727,6 +799,7 @@ class SegmentStorage:
         shorter than one chunk becomes a final (small) segment rather
         than a WAL entry, so the result is fully sealed.
         """
+        self._require_writable("import_docs")
         total = 0
         chunk: list[dict] = []
         for doc in docs:
@@ -740,7 +813,8 @@ class SegmentStorage:
             total += len(chunk)
         return total
 
-    def _flush_docs(self, docs: list[dict], session: str) -> Segment:
+    def _flush_docs(self, docs: list[dict], session: str,
+                    wal_sealed: int = 0) -> Segment:
         seq = self._manifest["next_seq"]
         name = f"seg-{seq:06d}.dseg"
         meta = write_segment(self.root / name, docs, session=session,
@@ -749,6 +823,12 @@ class SegmentStorage:
             self._crash_hook("flush")
         self._manifest["next_seq"] = seq + 1
         self._manifest["segments"].append(name)
+        if wal_sealed:
+            # Published atomically with the segment: replay skips WAL
+            # records up to this id, so a crash before the WAL reset
+            # below cannot duplicate the rows just sealed.
+            self._manifest["wal_sealed"] = max(
+                self._manifest.get("wal_sealed", 0), wal_sealed)
         self._write_manifest()
         segment = Segment(self.root / name)
         self._segments.append(segment)
@@ -760,9 +840,14 @@ class SegmentStorage:
         """Seal the buffered tail into a segment and truncate the WAL."""
         if not self._buffer:
             return None
-        segment = self._flush_docs(self._buffer, self._buffer_session)
+        self._require_writable("flush")
+        segment = self._flush_docs(self._buffer, self._buffer_session,
+                                   wal_sealed=self._buffer_wal_id)
         self._buffer = []
         self._buffer_session = ""
+        self._buffer_wal_id = 0
+        if self._crash_hook is not None:
+            self._crash_hook("flush-published")
         self._wal.reset()
         return segment
 
@@ -788,6 +873,7 @@ class SegmentStorage:
         atomic, and the stale inputs are deleted last; a crash at any
         point leaves one consistent view.
         """
+        self._require_writable("compact")
         threshold = small_rows if small_rows is not None else self.flush_events
         order = list(self._manifest["segments"])
         by_name = {seg.path.name: seg for seg in self._segments}
@@ -849,6 +935,7 @@ class SegmentStorage:
         window = retention_ns if retention_ns is not None else self.retention_ns
         if window is None:
             return {"segments_dropped": 0, "rows_dropped": 0}
+        self._require_writable("retain")
         cutoff = (now_ns if now_ns is not None else self._clock()) - window
         dropped: list[str] = []
         rows = 0
@@ -922,10 +1009,11 @@ class SegmentStorage:
         from segments is indistinguishable from one loaded from the
         JSON-lines oracle.
         """
-        docs = self.all_docs()
         session = rename_to or self.session() or "dio-session"
-        for doc in docs:
-            doc["session"] = session
+        # Stamp copies: the originals are memoised in Segment._docs /
+        # held in the unflushed buffer, and mutating them would leak
+        # the injected field into later scans and flushes.
+        docs = [{**doc, "session": session} for doc in self.all_docs()]
         store.ensure_index(index, indexed_fields=("syscall", "proc_name",
                                                   "pid", "tid", "file_tag",
                                                   "session", "time"))
@@ -974,8 +1062,13 @@ class SegmentStorage:
         return total
 
     def snapshot(self, path: str | Path) -> dict:
-        """Archive the whole store (manifest, segments, WAL) to one file."""
-        self.flush()
+        """Archive the whole store (manifest, segments, WAL) to one file.
+
+        A read-only store snapshots as-is (buffered rows travel inside
+        the archived WAL); a writable one seals its tail first.
+        """
+        if not self.read_only:
+            self.flush()
         path = Path(path)
         names = [MANIFEST_NAME] + list(self._manifest["segments"])
         if (self.root / WAL_NAME).exists():

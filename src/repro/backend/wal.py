@@ -12,7 +12,18 @@ byte-level spec):
 * an 8-byte file magic ``DIOWAL01`` (name + version in one token);
 * then zero or more self-delimiting records, each
   ``u32 payload length | u32 CRC-32 of payload | payload``, where the
-  payload is a compact UTF-8 JSON array ``[session, [doc, ...]]``.
+  payload is a compact UTF-8 JSON array
+  ``[session, [doc, ...], record_id]``.
+
+``record_id`` is assigned by the writer, starts at 1 and increases
+monotonically for the life of the *store* — a :meth:`WriteAheadLog.
+reset` does not restart the counter, and the segment engine persists
+the highest sealed id in its manifest (``wal_sealed``).  That is what
+makes replay idempotent: a crash after a flush published its segment
+but before the WAL was truncated leaves the sealed records in the log,
+and the next open can prove they are already covered and skip them
+instead of duplicating every row.  A payload with no third element
+(or id 0) is treated as "unknown id": always replayed, never skipped.
 
 Torn-write tolerance mirrors :meth:`repro.tracer.spill.SpillWAL.recover`:
 recovery walks records from the front and stops at the first frame
@@ -42,18 +53,21 @@ class WALError(Exception):
     """The write-ahead log cannot be opened or appended to."""
 
 
-def recover_bytes(blob: bytes) -> tuple[list[tuple[str, list[dict]]], dict]:
-    """Recover ``(session, docs)`` entries from a WAL image.
+def recover_bytes(blob: bytes) -> tuple[list[tuple[int, str, list[dict]]],
+                                        dict]:
+    """Recover ``(record_id, session, docs)`` entries from a WAL image.
 
     Tolerant by design: any torn tail — a half-written frame header, a
     payload cut short, a CRC mismatch from a partial page write — ends
     the scan without raising.  Returns ``(entries, report)`` where the
     report carries ``header_ok``, ``records_recovered``,
-    ``docs_recovered`` and ``torn_bytes_dropped``.
+    ``docs_recovered`` and ``torn_bytes_dropped``.  A two-element
+    payload yields record id 0 ("unknown"; owners must always replay
+    such records).
     """
     report = {"header_ok": False, "records_recovered": 0,
               "docs_recovered": 0, "torn_bytes_dropped": 0}
-    entries: list[tuple[str, list[dict]]] = []
+    entries: list[tuple[int, str, list[dict]]] = []
     if len(blob) < len(WAL_MAGIC) or blob[:len(WAL_MAGIC)] != WAL_MAGIC:
         report["torn_bytes_dropped"] = len(blob)
         return entries, report
@@ -70,12 +84,15 @@ def recover_bytes(blob: bytes) -> tuple[list[tuple[str, list[dict]]], dict]:
             break                       # payload damaged: stop here
         try:
             entry = json.loads(payload.decode("utf-8"))
-            session, docs = entry
+            session, docs = entry[0], entry[1]
+            rec_id = entry[2] if len(entry) > 2 else 0
             if not isinstance(docs, list):
                 raise ValueError("docs is not a list")
-        except (ValueError, UnicodeDecodeError):
+            if not isinstance(rec_id, int) or isinstance(rec_id, bool):
+                raise ValueError("record id is not an int")
+        except (ValueError, UnicodeDecodeError, IndexError, TypeError):
             break                       # CRC ok but not ours: stop
-        entries.append((session, docs))
+        entries.append((rec_id, session, docs))
         report["records_recovered"] += 1
         report["docs_recovered"] += len(docs)
         pos = body_start + length
@@ -83,9 +100,9 @@ def recover_bytes(blob: bytes) -> tuple[list[tuple[str, list[dict]]], dict]:
     return entries, report
 
 
-def encode_record(session: str, docs: list[dict]) -> bytes:
+def encode_record(session: str, docs: list[dict], rec_id: int = 0) -> bytes:
     """One framed WAL record (length | crc | payload) as bytes."""
-    payload = json.dumps([session, docs],
+    payload = json.dumps([session, docs, rec_id],
                          separators=(",", ":")).encode("utf-8")
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
 
@@ -105,16 +122,30 @@ class WriteAheadLog:
         self.report: Optional[dict] = None
         self._handle = None
         self._size = 0
+        self._next_id = 1
+        self._read_only = False
 
-    def open(self) -> list[tuple[str, list[dict]]]:
-        """Recover existing entries and open the log for appending."""
-        entries: list[tuple[str, list[dict]]] = []
+    def open(self, read_only: bool = False) -> list[tuple[int, str,
+                                                          list[dict]]]:
+        """Recover existing entries and open the log for appending.
+
+        With ``read_only=True`` the file is only read: a torn tail is
+        reported but *not* truncated, no header is created, and
+        :meth:`append` / :meth:`reset` refuse to run — the mode the
+        CLI inspect path uses so looking at a damaged store never
+        destroys evidence.
+        """
+        self._read_only = read_only
+        entries: list[tuple[int, str, list[dict]]] = []
         if self.path.exists():
             try:
                 blob = self.path.read_bytes()
             except OSError as exc:
                 raise WALError(f"cannot read WAL {self.path}") from exc
             entries, self.report = recover_bytes(blob)
+            if read_only:
+                self._size = len(blob)
+                return entries
             keep = len(blob) - self.report["torn_bytes_dropped"]
             if not self.report["header_ok"]:
                 keep = 0                # foreign file: start over
@@ -130,25 +161,40 @@ class WriteAheadLog:
             except OSError as exc:
                 raise WALError(f"cannot open WAL {self.path}") from exc
             self._size = keep
+            self._next_id = max((rec_id for rec_id, _, _ in entries),
+                                default=0) + 1
         else:
+            self.report = {"header_ok": True, "records_recovered": 0,
+                           "docs_recovered": 0, "torn_bytes_dropped": 0}
+            if read_only:
+                self._size = 0
+                return entries
             try:
                 self._handle = self.path.open("wb")
                 self._handle.write(WAL_MAGIC)
                 self._handle.flush()
             except OSError as exc:
                 raise WALError(f"cannot create WAL {self.path}") from exc
-            self.report = {"header_ok": True, "records_recovered": 0,
-                           "docs_recovered": 0, "torn_bytes_dropped": 0}
             self._size = len(WAL_MAGIC)
         return entries
+
+    def ensure_next_id(self, floor: int) -> None:
+        """Raise the next record id to at least ``floor``.
+
+        The segment engine calls this with ``wal_sealed + 1`` so that
+        after a reset (empty log, nothing to recover ids from) fresh
+        records can never reuse an id the manifest already marks as
+        sealed — reuse would make replay skip live records.
+        """
+        self._next_id = max(self._next_id, floor)
 
     @property
     def size_bytes(self) -> int:
         """Bytes currently in the log, header included."""
         return self._size
 
-    def append(self, session: str, docs: list[dict]) -> int:
-        """Frame and persist one batch; returns the record's byte size.
+    def append(self, session: str, docs: list[dict]) -> tuple[int, int]:
+        """Frame and persist one batch; returns ``(record_id, bytes)``.
 
         The record is flushed to the OS before returning, so a process
         crash after ``append`` cannot lose it (a *machine* crash could
@@ -156,20 +202,29 @@ class WriteAheadLog:
         the spill WAL's).
         """
         if self._handle is None:
-            raise WALError("WAL is not open")
-        record = encode_record(session, docs)
+            raise WALError("WAL is not open"
+                           + (" (read-only)" if self._read_only else ""))
+        rec_id = self._next_id
+        record = encode_record(session, docs, rec_id)
         try:
             self._handle.write(record)
             self._handle.flush()
         except OSError as exc:
             raise WALError(f"cannot append to WAL {self.path}") from exc
         self._size += len(record)
-        return len(record)
+        self._next_id = rec_id + 1
+        return rec_id, len(record)
 
     def reset(self) -> None:
-        """Truncate back to the header after a segment flush."""
+        """Truncate back to the header after a segment flush.
+
+        Record ids are *not* reset — they number records for the life
+        of the store, which is what lets the manifest's ``wal_sealed``
+        watermark distinguish sealed records from fresh ones.
+        """
         if self._handle is None:
-            raise WALError("WAL is not open")
+            raise WALError("WAL is not open"
+                           + (" (read-only)" if self._read_only else ""))
         self._handle.seek(len(WAL_MAGIC))
         self._handle.truncate(len(WAL_MAGIC))
         self._handle.flush()

@@ -111,7 +111,11 @@ def _cmd_segments(args) -> int:
     from repro.visualizer import render_table
 
     try:
-        engine = SegmentStorage(args.store, create=False)
+        # Inspect/verify must never alter the store (no manifest
+        # rewrite, no quarantine, no WAL truncation); only --compact
+        # needs a writable open.
+        engine = SegmentStorage(args.store, create=False,
+                                read_only=not args.compact)
     except SegmentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -122,7 +126,9 @@ def _cmd_segments(args) -> int:
     if args.verify:
         sweep = engine.verify()
         report["verify"] = sweep
-        if not sweep["ok"]:
+        # Damage found at open time (segments dropped from the live
+        # view) is a verify failure too, not just bad live blocks.
+        if not sweep["ok"] or engine.open_report["segments_dropped"]:
             exit_code = 1
     report["stats"] = stats = engine.stats()
     if args.json:
@@ -143,9 +149,12 @@ def _cmd_segments(args) -> int:
           f"{stats['disk_bytes'] / 1024:.1f} KiB")
     if engine.open_report["segments_dropped"]:
         dropped = engine.open_report["dropped"]
-        print(f"dropped {len(dropped)} damaged segment(s) on open:")
+        verb = ("detected" if engine.read_only else "quarantined")
+        print(f"{verb} {len(dropped)} damaged segment(s) on open:")
         for entry in dropped:
-            print(f"  {entry['name']}: {entry['error']}")
+            where = (f" -> {entry['quarantined']}"
+                     if "quarantined" in entry else "")
+            print(f"  {entry['name']}: {entry['error']}{where}")
     if args.compact:
         comp = report["compaction"]
         print(f"compaction: {comp['compactions']} run(s) merged "

@@ -496,12 +496,14 @@ def segment_storage_checks(run: PipelineRun, scenario: Scenario,
                            tmp_dir) -> list[str]:
     """Segment-engine recovery checks (``storage_mode="segments"``).
 
-    Four stages, all seeded from the scenario: the segment store must
+    Five stages, all seeded from the scenario: the segment store must
     load identically to the JSON-lines oracle; a segment file torn at
     an arbitrary byte must be rejected whole without touching its
     neighbours; a torn storage WAL must recover exactly the complete
-    frames of the prefix; and a crash injected mid-compaction must
-    leave a store that reopens clean and compacts successfully.
+    frames of the prefix; a crash injected mid-compaction must leave a
+    store that reopens clean and compacts successfully; and a crash
+    between a flush's manifest publish and its WAL reset must not
+    replay the sealed records as duplicates.
     """
     import pathlib
     import shutil
@@ -650,6 +652,41 @@ def segment_storage_checks(run: PipelineRun, scenario: Scenario,
         failures.append("compaction retry: compacted store fails verify")
     survivor.close()
     engine.close()
+
+    # Crash between the flush publishing its segment in the manifest
+    # and the WAL reset: the sealed rows are still framed in the WAL,
+    # and replay must skip them (the manifest's wal_sealed watermark
+    # covers their record ids), not duplicate every row.
+    pub_root = tmp_dir / "segstore-pub"
+    pub_engine = SegmentStorage(pub_root, flush_events=len(head) + 1)
+    for start in range(0, len(head), 4):
+        pub_engine.append(head[start:start + 4], session="segcheck")
+
+    def _crash_published(stage: str) -> None:
+        if stage == "flush-published":
+            raise RuntimeError("dst: injected crash before WAL reset")
+
+    pub_engine._crash_hook = _crash_published
+    try:
+        pub_engine.flush()
+        failures.append("flush-publish crash: hook never fired")
+    except RuntimeError:
+        pass
+    pub_engine.close()
+    pub_survivor = SegmentStorage(pub_root, flush_events=len(head) + 1,
+                                  create=False)
+    if pub_survivor.count() != len(head):
+        failures.append(
+            f"flush-publish crash: store holds {pub_survivor.count()} "
+            f"rows after reopen, expected {len(head)} (sealed WAL "
+            "records replayed as duplicates?)")
+    if pub_survivor.open_report["wal_docs_skipped_sealed"] != len(head):
+        failures.append(
+            "flush-publish crash: reopen did not skip the sealed WAL "
+            f"records ({pub_survivor.open_report} )")
+    if not pub_survivor.verify()["ok"]:
+        failures.append("flush-publish crash: reopened store fails verify")
+    pub_survivor.close()
     return failures
 
 

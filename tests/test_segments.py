@@ -55,7 +55,7 @@ class TestWAL:
         wal.close()
 
         reopened = WriteAheadLog(tmp_path / "wal.bin")
-        assert reopened.open() == [("s1", DOCS[:2]), ("s1", DOCS[2:])]
+        assert reopened.open() == [(1, "s1", DOCS[:2]), (2, "s1", DOCS[2:])]
         assert reopened.report["records_recovered"] == 2
         assert reopened.report["docs_recovered"] == len(DOCS)
         assert reopened.report["torn_bytes_dropped"] == 0
@@ -63,7 +63,8 @@ class TestWAL:
 
     def test_torn_at_every_byte_recovers_whole_frame_prefix(self, tmp_path):
         image = WAL_MAGIC
-        frames = [encode_record("s", [d]) for d in DOCS]
+        frames = [encode_record("s", [d], i + 1)
+                  for i, d in enumerate(DOCS)]
         boundaries = [len(image)]
         for frame in frames:
             image += frame
@@ -76,8 +77,10 @@ class TestWAL:
                 continue
             complete = sum(1 for b in boundaries[1:] if b <= cut)
             assert len(entries) == complete, f"cut at byte {cut}"
-            assert [docs for _, docs in entries] == \
+            assert [docs for _, _, docs in entries] == \
                 [[d] for d in DOCS[:complete]]
+            assert [rec_id for rec_id, _, _ in entries] == \
+                list(range(1, complete + 1))
             assert report["torn_bytes_dropped"] == \
                 cut - boundaries[complete]
 
@@ -91,9 +94,35 @@ class TestWAL:
         path.write_bytes(intact + b"\x99\x01garbage")
 
         reopened = WriteAheadLog(path)
-        assert reopened.open() == [("s", DOCS[:1])]
+        assert reopened.open() == [(1, "s", DOCS[:1])]
         reopened.close()
         assert path.read_bytes() == intact
+
+    def test_read_only_open_leaves_torn_tail_on_disk(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.append("s", DOCS[:1])
+        wal.close()
+        damaged = path.read_bytes() + b"\x99\x01garbage"
+        path.write_bytes(damaged)
+
+        inspector = WriteAheadLog(path)
+        assert inspector.open(read_only=True) == [(1, "s", DOCS[:1])]
+        assert path.read_bytes() == damaged   # evidence untouched
+        with pytest.raises(Exception):
+            inspector.append("s", DOCS[1:2])
+        inspector.close()
+
+    def test_record_ids_survive_reset(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.open()
+        assert wal.append("s", DOCS[:1])[0] == 1
+        wal.reset()
+        assert wal.append("s", DOCS[1:2])[0] == 2
+        wal.ensure_next_id(10)
+        assert wal.append("s", DOCS[2:3])[0] == 10
+        wal.close()
 
     def test_reset_truncates_to_header(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal.bin")
@@ -211,6 +240,30 @@ class TestSegmentFile:
         segment = Segment(path)
         assert "mixed" not in segment.zones
         assert segment.may_match([("mixed", "eq", "anything")])
+
+    def test_may_match_keeps_dotted_paths_into_nested_values(self, tmp_path):
+        # get_field resolves "a.b" inside the root column's nested
+        # dicts, which no zone map covers — the segment must survive
+        # pruning so the per-row predicate can find the match.
+        docs = [{"time": 1, "a": {"b": 5}}, {"time": 2, "a": {"b": 7}}]
+        path = tmp_path / "seg.dseg"
+        write_segment(path, docs, session="s", seq=1)
+        segment = Segment(path)
+        assert segment.may_match([("a.b", "eq", 5)])
+        assert segment.may_match([("a.b", "range", {"gte": 6})])
+        # No root column at all is still a proof of absence.
+        assert not segment.may_match([("zz.yy", "eq", 5)])
+
+    def test_may_match_missing_field_can_equal_none(self, tmp_path):
+        # A row without the field resolves to None under get_field, so
+        # an eq-None / in-[None] constraint cannot exclude the segment.
+        path = tmp_path / "seg.dseg"
+        write_segment(path, [{"time": 1}], session="s", seq=1)
+        segment = Segment(path)
+        assert segment.may_match([("missing", "eq", None)])
+        assert segment.may_match([("missing", "in", [1, None])])
+        assert not segment.may_match([("missing", "eq", 3)])
+        assert not segment.may_match([("missing", "range", {"gte": 0})])
 
 
 # ---------------------------------------------------------------------------
@@ -365,6 +418,101 @@ class TestSegmentStorage:
         reopened.compact(small_rows=100)
         assert dumps(reopened.all_docs()) == dumps(sort_docs(docs))
         reopened.close()
+
+    def test_crash_after_manifest_before_wal_reset_no_duplicates(
+            self, tmp_path):
+        engine = SegmentStorage(tmp_path / "store", flush_events=100)
+        engine.append(DOCS[:3], session="s")
+        engine.append(DOCS[3:], session="s")
+
+        def boom(stage):
+            if stage == "flush-published":
+                raise RuntimeError("injected")
+
+        engine._crash_hook = boom
+        with pytest.raises(RuntimeError):
+            engine.flush()                 # manifest published, WAL intact
+        engine.close()
+
+        reopened = SegmentStorage(tmp_path / "store", create=False)
+        assert reopened.open_report["wal_docs_skipped_sealed"] == len(DOCS)
+        assert reopened.open_report["wal_docs_recovered"] == 0
+        assert dumps(reopened.all_docs()) == dumps(sort_docs(DOCS))
+        # New appends must not reuse sealed record ids.
+        reopened.append(DOCS[:1], session="s")
+        reopened.close()
+        again = SegmentStorage(tmp_path / "store", create=False)
+        assert again.count() == len(DOCS) + 1
+        again.close()
+
+    def test_damaged_segment_quarantined_not_unlinked(self, tmp_path):
+        engine = SegmentStorage(tmp_path / "store", flush_events=5)
+        fill(engine, 15)                  # 3 segments of 5
+        engine.close()
+        victim = sorted((tmp_path / "store").glob("*.dseg"))[1]
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[:-7])
+
+        reopened = SegmentStorage(tmp_path / "store", create=False)
+        assert reopened.open_report["segments_dropped"] == 1
+        entry = reopened.open_report["dropped"][0]
+        assert entry["quarantined"] == victim.name + ".damaged"
+        quarantined = victim.with_name(victim.name + ".damaged")
+        assert quarantined.read_bytes() == blob[:-7]
+        assert not victim.exists()
+        reopened.close()
+
+        # The quarantined file survives later opens (no orphan sweep).
+        again = SegmentStorage(tmp_path / "store", create=False)
+        assert quarantined.exists()
+        assert again.open_report["orphans_removed"] == 0
+        again.close()
+
+    def test_read_only_open_changes_nothing_on_disk(self, tmp_path):
+        engine = SegmentStorage(tmp_path / "store", flush_events=5)
+        fill(engine, 15)
+        engine.append(DOCS[:2], session="s")
+        engine.close()
+        root = tmp_path / "store"
+        victim = sorted(root.glob("*.dseg"))[0]
+        victim.write_bytes(victim.read_bytes()[:-7])
+        (root / "seg-000099.dseg").write_bytes(b"orphan")
+        wal = root / WAL_NAME
+        wal.write_bytes(wal.read_bytes() + b"torn-tail")
+        before = {p.name: p.read_bytes() for p in root.iterdir()}
+
+        inspector = SegmentStorage(root, create=False, read_only=True)
+        assert inspector.open_report["segments_dropped"] == 1
+        assert "quarantined" not in inspector.open_report["dropped"][0]
+        assert inspector.open_report["orphans_removed"] == 0
+        assert inspector.open_report["wal_docs_recovered"] == 2
+        assert inspector.count() == 12    # 2 surviving segments + buffer
+        with pytest.raises(SegmentError):
+            inspector.append(DOCS[:1], session="s")
+        with pytest.raises(SegmentError):
+            inspector.import_docs(DOCS, session="s")
+        with pytest.raises(SegmentError):
+            inspector.flush()
+        with pytest.raises(SegmentError):
+            inspector.compact()
+        with pytest.raises(SegmentError):
+            inspector.retain(now_ns=10, retention_ns=1)
+        inspector.close()
+        after = {p.name: p.read_bytes() for p in root.iterdir()}
+        assert after == before            # not one byte moved
+
+    def test_load_into_stamps_copies_not_cached_docs(self, tmp_path):
+        engine = SegmentStorage(tmp_path / "store", flush_events=3)
+        fill(engine, 4)                   # one sealed segment + a tail
+        engine.append(DOCS[:1], session="s")
+        store = DocumentStore()
+        engine.load_into(store, rename_to="stamped")
+        # The engine's own documents must be exactly what was stored —
+        # no injected "session" field in segment caches or the buffer.
+        assert all("session" not in d for d in engine.all_docs())
+        loaded = [s for _, s in store.scan("dio_trace", {"match_all": {}})]
+        assert all(d["session"] == "stamped" for d in loaded)
+        engine.close()
 
     def test_scan_prunes_but_matches_predicate_scan(self, tmp_path):
         engine = SegmentStorage(tmp_path / "store", flush_events=4)
@@ -557,10 +705,11 @@ class TestRoundTripOracle:
     @settings(max_examples=40, deadline=None)
     def test_wal_torn_anywhere_recovers_prefix(self, docs, cut_frac):
         image = WAL_MAGIC + b"".join(
-            encode_record("s", [json.loads(json.dumps(d))]) for d in docs)
+            encode_record("s", [json.loads(json.dumps(d))], i + 1)
+            for i, d in enumerate(docs))
         cut = int(len(image) * cut_frac)
         entries, report = recover_bytes(image[:cut])
-        recovered = [doc for _, batch in entries for doc in batch]
+        recovered = [doc for _, _, batch in entries for doc in batch]
         assert dumps(recovered) == \
             dumps([json.loads(json.dumps(d))
                    for d in docs[:len(recovered)]])

@@ -222,17 +222,21 @@ class TestWALFromSpec:
             frame = _unpack(record_rows, blob, base=pos)
             payload = blob[pos + fixed:pos + fixed + frame["length"]]
             assert zlib.crc32(payload) == frame["crc32"]
-            session, docs = json.loads(payload.decode("utf-8"))
-            records.append((session, docs))
+            session, docs, rec_id = json.loads(payload.decode("utf-8"))
+            records.append((session, docs, rec_id))
             pos += fixed + frame["length"]
         assert records == [("spec-session",
-                            [{"time": 100, "syscall": "close", "ret": 0}])]
+                            [{"time": 100, "syscall": "close", "ret": 0}],
+                            1)]
 
     def test_manifest_matches_spec_shape(self, store_dir):
         manifest = json.loads(
             (store_dir / "MANIFEST.json").read_text(encoding="utf-8"))
         assert manifest["format"] == "dio-segments-v1"
         assert isinstance(manifest["next_seq"], int)
+        # wal_sealed: highest WAL record id covered by sealed segments
+        # (0 here: the only flushes came via import_docs, no WAL hop).
+        assert manifest["wal_sealed"] == 0
         for name in manifest["segments"]:
             assert re.fullmatch(r"seg-\d{6}\.dseg", name)
             assert (store_dir / name).exists()
