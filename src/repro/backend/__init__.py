@@ -29,6 +29,13 @@ package is an in-process substitute exposing the same operations:
   segment storage engine: immutable columnar segment files with zone
   maps and checksummed footers behind a write-ahead log (the
   ``storage_mode="segments"`` axis; byte layout in docs/STORAGE.md).
+- :mod:`repro.backend.router` — the scatter-gather coordinator:
+  deterministic shard routing, parallel fan-out, top-k heap merge for
+  search and kernel-partial merge for aggregations (the
+  ``shard_count`` axis; ``shard_count=1`` is the oracle).
+- :mod:`repro.backend.tenancy` — tenant/session isolation on top of
+  the router: per-tenant stores on disjoint shard sets with document
+  quotas and ``dio_tenant_*`` telemetry.
 """
 
 from repro.backend.store import DocumentStore, Index, StoreError
@@ -46,6 +53,10 @@ from repro.backend.persistence import (STORAGE_MODES, SessionError,
                                        save_session, storage_mode_of)
 from repro.backend.segments import Segment, SegmentError, SegmentStorage
 from repro.backend.wal import WALError, WriteAheadLog
+from repro.backend.router import (SHARD_KEYS, ShardedDocumentStore,
+                                  create_store)
+from repro.backend.tenancy import (TenantBackend, TenantQuotaExceeded,
+                                   TenantStore)
 
 __all__ = [
     "DocumentStore",
@@ -81,4 +92,10 @@ __all__ = [
     "SegmentStorage",
     "WALError",
     "WriteAheadLog",
+    "SHARD_KEYS",
+    "ShardedDocumentStore",
+    "create_store",
+    "TenantBackend",
+    "TenantQuotaExceeded",
+    "TenantStore",
 ]

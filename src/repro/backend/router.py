@@ -1,0 +1,1521 @@
+"""Sharded document-store coordinator: scatter-gather over N shards.
+
+The paper's production backend is a sharded Elasticsearch cluster;
+this module puts the same shape in front of the in-process store.  A
+:class:`ShardedDocumentStore` owns N plain :class:`DocumentStore`
+shards — each with its own indexes, columns, and (when persisted) its
+own segment directory — and a thin coordinator that:
+
+- **routes writes** deterministically by a configurable shard key
+  (``file_tag`` hash, ``pid``, or ``time`` window; ``TracerConfig
+  [sharding]``), assigning *global* doc ids and insertion ranks so
+  every shard-local scan is already in global order;
+- **partitions vectorized bulks** lane-wise: a decoded
+  :class:`~repro.tracer.batch.RecordBatch` is split by shard key with
+  :meth:`RecordBatch.take` before ``bulk_columnar`` — no per-event
+  document is ever materialised on the ingest path;
+- **fans out reads** over ``concurrent.futures`` and merges at the
+  coordinator: a k-way heap merge by global rank (or by the search
+  sort key) for hits, a kernel-partial merge for aggregations that
+  reuses each shard's columnar partials and epoch-keyed caches, and a
+  rank-ordered gather fallback that reproduces the single-store bytes
+  whenever a partial merge cannot be proven identical;
+- **stays byte-identical**: ``shard_count=1`` (via :func:`create_store`)
+  is literally today's ``DocumentStore``, and for any shard count the
+  documents, query results, aggregations, correlation output, and
+  diagnosis reports are identical to the single-store run — the same
+  differential-oracle pattern as ``ingest_mode``/``storage_mode``.
+
+Hash routing uses ``zlib.crc32`` over a normalised value token — never
+Python ``hash()``, which is randomised per process for strings.  The
+normalisation maps equal-comparing values (``3``, ``3.0``, ``True``)
+to the same token so query-time routing can never miss a shard that
+equality-based matching would reach.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import threading
+import time
+import zlib
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from heapq import merge as heap_merge
+from itertools import chain
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.backend.aggregations import (_field_values, _numeric_values,
+                                        percentile, run_aggregations)
+from repro.backend.query import get_field
+from repro.backend.store import (AGG_CACHE_SIZE, AGG_MODES, PLAN_MODES,
+                                 DocumentStore, Index, StoreError, _response,
+                                 _sort_key)
+
+#: Supported shard keys (``TracerConfig.shard_key``).
+SHARD_KEYS = ("file_tag", "pid", "time_window")
+
+#: Default time-window width for ``shard_key="time_window"`` (1 s).
+DEFAULT_TIME_WINDOW_NS = 1_000_000_000
+
+_BUCKET_KINDS = ("terms", "histogram", "date_histogram")
+_REDUCED_KINDS = ("stats", "avg", "min", "max", "sum")
+
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _executor() -> ThreadPoolExecutor:
+    """The process-wide fan-out pool, shared by every router.
+
+    Shared so test suites that build hundreds of routers do not leak a
+    thread pool each; shard tasks never submit nested work, so sharing
+    cannot deadlock.
+    """
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        with _EXECUTOR_LOCK:
+            if _EXECUTOR is None:
+                import os
+                _EXECUTOR = ThreadPoolExecutor(
+                    max_workers=max(2, min(8, os.cpu_count() or 2)),
+                    thread_name_prefix="dio-shard")
+    return _EXECUTOR
+
+
+def _route_token(value: Any) -> str:
+    """Equality-stable token for hash routing.
+
+    ``3 == 3.0 == True`` under document matching, so they must route
+    identically; integral numerics collapse to ``repr(int(value))``.
+    """
+    if isinstance(value, (bool, int, float)):
+        try:
+            integral = int(value)
+            if value == integral:
+                return repr(integral)
+        except (OverflowError, ValueError):      # inf / nan
+            pass
+        return repr(float(value))
+    return repr(value)
+
+
+class _RevKey:
+    """Reflected comparison wrapper: descending merge over sorted runs."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other) -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return other.value == self.value
+
+
+class _IndexState:
+    """Coordinator-side bookkeeping for one logical index."""
+
+    __slots__ = ("next_id", "next_rank", "rank", "owner")
+
+    def __init__(self) -> None:
+        self.next_id = 1
+        self.next_rank = 0
+        #: doc id -> global insertion rank (the merge key).
+        self.rank: dict[str, int] = {}
+        #: doc id -> shard number that holds it.
+        self.owner: dict[str, int] = {}
+
+
+class ShardedDocumentStore:
+    """N document-store shards behind a scatter-gather coordinator.
+
+    API-compatible with :class:`DocumentStore` for every surface the
+    pipeline uses (tracer bulks, correlator scans/streams/updates,
+    persistence exports, diagnosis queries, telemetry binding), with
+    byte-identical results for any shard count.
+    """
+
+    def __init__(self, shard_count: int = 2, shard_key: str = "pid",
+                 time_window_ns: int = DEFAULT_TIME_WINDOW_NS,
+                 plan_mode: str = "planner",
+                 agg_mode: Optional[str] = None,
+                 parallel: bool = True) -> None:
+        if not isinstance(shard_count, int) or shard_count < 1:
+            raise StoreError(f"shard_count must be a positive int: "
+                             f"{shard_count!r}")
+        if shard_key not in SHARD_KEYS:
+            raise StoreError(f"unknown shard key {shard_key!r} "
+                             f"(expected one of {SHARD_KEYS})")
+        if time_window_ns <= 0:
+            raise StoreError(f"time_window_ns must be positive: "
+                             f"{time_window_ns}")
+        if plan_mode not in PLAN_MODES:
+            raise StoreError(f"unknown plan mode {plan_mode!r}")
+        if agg_mode is None:
+            agg_mode = "columnar" if plan_mode == "planner" else "legacy"
+        if agg_mode not in AGG_MODES:
+            raise StoreError(f"unknown agg mode {agg_mode!r}")
+        self.shard_count = shard_count
+        self.shard_key = shard_key
+        self.time_window_ns = time_window_ns
+        self.plan_mode = plan_mode
+        self.agg_mode = agg_mode
+        self.parallel = parallel
+        #: The document field the shard key reads.
+        self.route_field = {"file_tag": "file_tag", "pid": "pid",
+                            "time_window": "time"}[shard_key]
+        self.shards = [DocumentStore(plan_mode=plan_mode, agg_mode=agg_mode)
+                       for _ in range(shard_count)]
+        self._states: dict[str, _IndexState] = {}
+        self._indexed_fields: dict[str, Optional[tuple]] = {}
+        #: Per index: can queries on the shard key still be routed to a
+        #: shard subset?  Cleared when an update may have changed the
+        #: shard-key field of an existing document (the doc stays on
+        #: its owner shard, so key-based routing would miss it).
+        self._routing_exact: dict[str, bool] = {}
+        # Coordinator-level counters (same names as DocumentStore where
+        # the concept matches; incremented only from the caller thread).
+        self.bulk_requests = 0
+        self.documents_indexed = 0
+        self.columnar_bulks = 0
+        self.queries = 0
+        self.agg_cache_hits = 0
+        self.agg_cache_misses = 0
+        self.agg_kernel_ns = 0
+        #: Scatter-gather specifics.
+        self.routed_queries = 0       # served by a shard subset
+        self.fanout_queries = 0       # had to consult every shard
+        self.agg_merges = 0           # aggregations from partial merge
+        self.agg_gathers = 0          # rank-ordered gather fallback
+        self.partial_cache_hits = 0
+        self.partial_cache_misses = 0
+        self.bulk_partitions = 0      # per-shard sub-bulks dispatched
+        self.rebalances = 0
+        self.shard_kills = 0
+        #: Coordinator aggregation-result cache, keyed by (per-shard
+        #: epochs, canonical request) — the cross-shard twin of the
+        #: per-Index cache.
+        self._agg_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._telemetry: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    def _route_value(self, value: Any) -> int:
+        """Shard number for one shard-key value (deterministic)."""
+        n = self.shard_count
+        if value is None:
+            return 0
+        if self.shard_key == "time_window":
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                try:
+                    return int(value // self.time_window_ns) % n
+                except (OverflowError, ValueError):   # inf / nan
+                    return 0
+            return 0
+        if self.shard_key == "pid" and isinstance(value, (bool, int, float)):
+            try:
+                integral = int(value)
+                if value == integral:
+                    return integral % n
+            except (OverflowError, ValueError):
+                pass
+        token = _route_token(value)
+        return zlib.crc32(token.encode("utf-8", "backslashreplace")) % n
+
+    def _route_source(self, source: dict) -> int:
+        return self._route_value(get_field(source, self.route_field))
+
+    def _narrow(self, query: Any) -> Optional[set[int]]:
+        """Shard subset that must hold every match, or ``None``.
+
+        Sound, not complete: any doubt answers ``None`` (fan out).
+        Only ``term``/``terms`` on the shard-key field and — for
+        time-window sharding — ``range`` on ``time`` narrow; ``bool``
+        queries narrow through any one ``must``/``filter`` clause.
+        """
+        if not isinstance(query, dict) or len(query) != 1:
+            return None
+        kind, body = next(iter(query.items()))
+        if kind == "bool" and isinstance(body, dict):
+            clauses = []
+            for section in ("must", "filter"):
+                part = body.get(section)
+                if isinstance(part, list):
+                    clauses.extend(part)
+                elif isinstance(part, dict):
+                    clauses.append(part)
+            for clause in clauses:
+                narrowed = self._narrow(clause)
+                if narrowed is not None:
+                    return narrowed
+            return None
+        if not isinstance(body, dict):
+            return None
+        if kind == "term" and len(body) == 1:
+            field, value = next(iter(body.items()))
+            if field == self.route_field and self.shard_key != "time_window":
+                return {self._route_value(value)}
+            return None
+        if kind == "terms" and len(body) == 1:
+            field, values = next(iter(body.items()))
+            if (field == self.route_field and isinstance(values, (list, tuple))
+                    and self.shard_key != "time_window"):
+                return {self._route_value(v) for v in values}
+            return None
+        if (kind == "range" and self.shard_key == "time_window"
+                and len(body) == 1):
+            field, bounds = next(iter(body.items()))
+            if field != "time" or not isinstance(bounds, dict):
+                return None
+            lo = bounds.get("gte", bounds.get("gt"))
+            hi = bounds.get("lte", bounds.get("lt"))
+            if not all(isinstance(b, (int, float)) and not isinstance(b, bool)
+                       for b in (lo, hi)):
+                return None
+            window = self.time_window_ns
+            lo_w, hi_w = int(lo // window), int(hi // window)
+            if hi_w - lo_w + 1 >= self.shard_count:
+                return None
+            shards = {w % self.shard_count for w in range(lo_w, hi_w + 1)}
+            shards.add(0)      # non-numeric time values live on shard 0
+            return shards
+        return None
+
+    def _query_shards(self, index: str, query: Any) -> list[int]:
+        """Shards a read must consult, ascending."""
+        if self._routing_exact.get(index, True) and query is not None:
+            try:
+                narrowed = self._narrow(query)
+            except Exception:
+                narrowed = None
+            if narrowed is not None and len(narrowed) < self.shard_count:
+                self.routed_queries += 1
+                return sorted(narrowed)
+        self.fanout_queries += 1
+        return list(range(self.shard_count))
+
+    def _map_shards(self, shard_ids: list[int],
+                    fn: Callable[[DocumentStore], Any]) -> list[Any]:
+        """``fn`` per shard, results in shard-id order.
+
+        Parallel via the shared pool when more than one shard is
+        involved; each task touches exactly one shard, so per-shard
+        state needs no locks and results are deterministic.
+        """
+        if not self.parallel or len(shard_ids) <= 1:
+            return [fn(self.shards[i]) for i in shard_ids]
+        pool = _executor()
+        futures = [pool.submit(fn, self.shards[i]) for i in shard_ids]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Index management
+
+    def _state(self, index: str) -> _IndexState:
+        state = self._states.get(index)
+        if state is None:
+            raise StoreError(f"no such index {index!r}")
+        return state
+
+    def create_index(self, name: str,
+                     indexed_fields: Optional[Iterable[str]] = None) -> None:
+        if name in self._states:
+            raise StoreError(f"index {name!r} already exists")
+        self.ensure_index(name, indexed_fields)
+
+    def ensure_index(self, name: str,
+                     indexed_fields: Optional[Iterable[str]] = None) -> None:
+        """Create-or-get on every shard (returns nothing: there is no
+        single :class:`Index` to hand out — see :meth:`oracle_index`)."""
+        if name not in self._states:
+            self._states[name] = _IndexState()
+            self._indexed_fields[name] = (tuple(indexed_fields)
+                                          if indexed_fields else None)
+            self._routing_exact[name] = True
+        for shard in self.shards:
+            shard.ensure_index(name, indexed_fields)
+
+    def delete_index(self, name: str) -> None:
+        self._state(name)
+        del self._states[name]
+        self._indexed_fields.pop(name, None)
+        self._routing_exact.pop(name, None)
+        for shard in self.shards:
+            if name in shard._indices:
+                shard.delete_index(name)
+
+    def index_names(self) -> list[str]:
+        return sorted(self._states)
+
+    def oracle_index(self, name: str) -> Index:
+        """A merged, read-only single :class:`Index` view.
+
+        Documents are re-put in global rank order, so naive oracles
+        (``naive_scan``/``naive_aggregate``) see exactly the document
+        sequence a single store would hold.  Mutating the view does
+        not write back; sources are shared by reference.
+        """
+        self._state(name)
+        view = Index(name, plan_mode="legacy", agg_mode="legacy")
+        for doc_id, source in self.scan(name, None):
+            view.put(source, doc_id)
+        return view
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def index_doc(self, index: str, source: dict,
+                  doc_id: Optional[str] = None) -> str:
+        self.ensure_index(index)
+        state = self._states[index]
+        if doc_id is None:
+            doc_id = str(state.next_id)
+            state.next_id += 1
+        else:
+            try:
+                numeric = int(str(doc_id))
+            except ValueError:
+                pass
+            else:
+                if numeric >= state.next_id:
+                    state.next_id = numeric + 1
+        owner = state.owner.get(doc_id)
+        if owner is None:
+            owner = self._route_source(source)
+            state.owner[doc_id] = owner
+            state.rank[doc_id] = state.next_rank
+            state.next_rank += 1
+        elif self._route_source(source) != owner:
+            # The shard-key value changed under an existing id; the doc
+            # stays put, so key-based query routing is no longer exact.
+            self._routing_exact[index] = False
+        self.shards[owner].index_doc(index, source, doc_id,
+                                     rank=state.rank[doc_id])
+        self.documents_indexed += 1
+        return doc_id
+
+    def get_doc(self, index: str, doc_id: str) -> Optional[dict]:
+        state = self._state(index)
+        owner = state.owner.get(doc_id)
+        if owner is None:
+            return None
+        return self.shards[owner].get_doc(index, doc_id)
+
+    def _assign(self, state: _IndexState, n: int) -> tuple[list[str], range]:
+        """Fresh global ids and ranks for ``n`` new documents."""
+        start = state.next_id
+        state.next_id = start + n
+        doc_ids = list(map(str, range(start, start + n)))
+        ranks = range(state.next_rank, state.next_rank + n)
+        state.next_rank += n
+        state.rank.update(zip(doc_ids, ranks))
+        return doc_ids, ranks
+
+    def bulk(self, index: str, sources: Iterable[dict]) -> int:
+        start = self._span_start()
+        self.ensure_index(index)
+        state = self._states[index]
+        sources = list(sources)
+        n = len(sources)
+        doc_ids, ranks = self._assign(state, n)
+        codes = [self._route_source(source) for source in sources]
+        state.owner.update(zip(doc_ids, codes))
+        groups: dict[int, tuple[list, list, list]] = {}
+        for source, doc_id, rank, code in zip(sources, doc_ids, ranks, codes):
+            group = groups.get(code)
+            if group is None:
+                group = groups[code] = ([], [], [])
+            group[0].append(source)
+            group[1].append(doc_id)
+            group[2].append(rank)
+        calls = sorted(groups.items())
+        self._dispatch_bulks(
+            [(code, lambda s, g=group: s.bulk(index, g[0], g[1], g[2]))
+             for code, group in calls])
+        self.bulk_requests += 1
+        self.documents_indexed += n
+        self.bulk_partitions += len(calls)
+        if self._telemetry is not None:
+            self._telemetry["bulk_docs"].observe(n)
+            self._observe_span("store.bulk", start)
+        return n
+
+    def _dispatch_bulks(self, calls: list[tuple[int, Callable]]) -> None:
+        """Run per-shard bulk thunks, in parallel when possible."""
+        if not self.parallel or len(calls) <= 1:
+            for code, thunk in calls:
+                thunk(self.shards[code])
+            return
+        pool = _executor()
+        futures = [pool.submit(thunk, self.shards[code])
+                   for code, thunk in calls]
+        for future in futures:
+            future.result()
+
+    def bulk_columnar(self, index: str, batch) -> int:
+        """Partition one decoded batch by shard key, lane-wise.
+
+        The common case (time-window sharding, in-order event streams;
+        or a single-pid batch under pid sharding) lands every row on
+        one shard, which skips :meth:`RecordBatch.take` entirely.
+        """
+        start = self._span_start()
+        self.ensure_index(index)
+        state = self._states[index]
+        n = len(batch)
+        if n == 0:
+            self.bulk_requests += 1
+            self.columnar_bulks += 1
+            if self._telemetry is not None:
+                self._telemetry["bulk_docs"].observe(0)
+                self._observe_span("store.bulk", start)
+            return 0
+        doc_ids, ranks = self._assign(state, n)
+        route = self._route_value
+        codes = list(map(route, batch.values_for(self.route_field)))
+        first = codes[0]
+        calls: list[tuple[int, Callable]] = []
+        if all(code == first for code in codes):
+            state.owner.update(zip(doc_ids, codes))
+            calls.append((first, lambda s: s.bulk_columnar(
+                index, batch, doc_ids, list(ranks))))
+        else:
+            state.owner.update(zip(doc_ids, codes))
+            rows_by_shard: dict[int, list[int]] = {}
+            for row, code in enumerate(codes):
+                rows = rows_by_shard.get(code)
+                if rows is None:
+                    rows_by_shard[code] = [row]
+                else:
+                    rows.append(row)
+            rank_start = ranks.start
+            for code, rows in sorted(rows_by_shard.items()):
+                sub = batch.take(rows)
+                sub_ids = [doc_ids[row] for row in rows]
+                sub_ranks = [rank_start + row for row in rows]
+                calls.append((code, lambda s, b=sub, i=sub_ids, r=sub_ranks:
+                              s.bulk_columnar(index, b, i, r)))
+        self._dispatch_bulks(calls)
+        self.bulk_requests += 1
+        self.columnar_bulks += 1
+        self.documents_indexed += n
+        self.bulk_partitions += len(calls)
+        if self._telemetry is not None:
+            self._telemetry["bulk_docs"].observe(n)
+            self._observe_span("store.bulk", start)
+        return n
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def count(self, index: str, query: Optional[dict] = None) -> int:
+        self.queries += 1
+        self._state(index)
+        shards = self._query_shards(index, query)
+        return sum(self._map_shards(
+            shards, lambda shard: shard.count(index, query)))
+
+    def scan(self, index: str,
+             query: Optional[dict] = None) -> list[tuple[str, dict]]:
+        """All matching (id, source) pairs in *global* insertion order."""
+        self.queries += 1
+        state = self._state(index)
+        shards = self._query_shards(index, query)
+        parts = self._map_shards(shards,
+                                 lambda shard: shard.scan(index, query))
+        return self._merge_by_rank(parts, state)
+
+    def _merge_by_rank(self, parts: list[list], state: _IndexState) -> list:
+        if len(parts) == 1:
+            return parts[0]
+        rank = state.rank
+        # A doc id the coordinator never assigned (a buggy shard
+        # invented it) sorts last instead of crashing the merge, so
+        # the invariant layer gets to see and flag it.
+        last = float("inf")
+        return list(heap_merge(*parts,
+                               key=lambda pair: rank.get(pair[0], last)))
+
+    def stream(self, index: str,
+               query: Optional[dict] = None) -> Iterator[tuple[str, dict]]:
+        """Iterate matches shard by shard (no ordering guarantees —
+        same contract as the single store)."""
+        self.queries += 1
+        self._state(index)
+        shards = self._query_shards(index, query)
+        for i in shards:
+            yield from self.shards[i].stream(index, query)
+
+    # -- aggregation partial merge -------------------------------------
+
+    def _coordinator_cache_key(self, index: str, query, aggs,
+                               shards: list[int]) -> Optional[tuple]:
+        try:
+            body = json.dumps((query, aggs, shards), sort_keys=True,
+                              default=repr)
+        except (TypeError, ValueError):
+            return None
+        epochs = tuple(
+            shard._indices[index].epoch if index in shard._indices else -1
+            for shard in self.shards)
+        return (epochs, body)
+
+    def _cache_get(self, key: tuple) -> Optional[tuple]:
+        entry = self._agg_cache.get(key)
+        if entry is not None:
+            self._agg_cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key: tuple, entry: tuple) -> None:
+        self._agg_cache[key] = entry
+        self._agg_cache.move_to_end(key)
+        while len(self._agg_cache) > AGG_CACHE_SIZE:
+            self._agg_cache.popitem(last=False)
+
+    def search(self, index: str, query: Optional[dict] = None,
+               aggs: Optional[dict] = None,
+               sort: Optional[list] = None,
+               size: Optional[int] = 10,
+               from_: int = 0) -> dict:
+        """Scatter-gather search; byte-identical to the single store.
+
+        Hits are merged by a k-way heap on global rank (or on the sort
+        key with a rank tie-break, which reproduces the single store's
+        stable multi-pass sort exactly).  Aggregations try the partial
+        merge first — per-shard columnar partials, each cached in its
+        shard's epoch-keyed LRU, combined by exact merge rules — and
+        otherwise gather rank-ordered sources through the legacy
+        :func:`run_aggregations`, which is identical by construction.
+        """
+        if from_ < 0:
+            raise StoreError(f"from_ must be non-negative: {from_}")
+        if size is not None and size < 0:
+            raise StoreError(f"size must be non-negative or None: {size}")
+        start = self._span_start()
+        self.queries += 1
+        state = self._state(index)
+        shards = self._query_shards(index, query)
+
+        aggregations = None
+        total: Optional[int] = None
+        cache_key = cacheable = None
+        if aggs is not None and not sort and self.agg_mode == "columnar":
+            cache_key = self._coordinator_cache_key(index, query, aggs, shards)
+            cacheable = cache_key is not None
+            if cacheable:
+                cached = self._cache_get(cache_key)
+                if cached is not None:
+                    self.agg_cache_hits += 1
+                    total, aggregations = copy.deepcopy(cached)
+                    cacheable = False
+                else:
+                    self.agg_cache_misses += 1
+
+        if aggregations is not None and size == 0:
+            if self._telemetry is not None:
+                self._telemetry["query_hits"].observe(total)
+                self._observe_span("store.query", start)
+            return _response(index, total, [], aggregations)
+
+        window = None
+        if size == 0 and not sort:
+            if aggs is None:
+                total = sum(self._map_shards(
+                    shards, lambda shard: shard.count(index, query)))
+            elif aggregations is None:
+                total, aggregations = self._scatter_aggs(
+                    index, query, aggs, shards, state)
+            window = []
+        else:
+            matches = self._merged_matches(index, query, shards, state, sort)
+            total = len(matches)
+            if aggs is not None and aggregations is None:
+                merged = None
+                if not sort and self.agg_mode == "columnar":
+                    merged = self._try_partial_merge(index, query, aggs,
+                                                     shards)
+                if merged is not None:
+                    aggregations = merged
+                    self.agg_merges += 1
+                else:
+                    aggregations = run_aggregations(
+                        aggs, [source for _, source in matches])
+                    self.agg_gathers += 1
+            window = (matches[from_:] if size is None
+                      else matches[from_:from_ + size])
+
+        if self._telemetry is not None:
+            self._telemetry["query_hits"].observe(total)
+            self._observe_span("store.query", start)
+        if cacheable and aggregations is not None:
+            self._cache_put(cache_key, (total, copy.deepcopy(aggregations)))
+        return _response(index, total, window, aggregations)
+
+    def _merged_matches(self, index: str, query, shards: list[int],
+                        state: _IndexState, sort) -> list[tuple[str, dict]]:
+        parts = self._map_shards(shards,
+                                 lambda shard: shard.scan(index, query))
+        if not sort:
+            return self._merge_by_rank(parts, state)
+        # Parse in the single store's (reversed) validation order so a
+        # bad entry raises the same error at the same point.
+        parsed_rev = []
+        for entry in reversed(sort):
+            if isinstance(entry, str):
+                field, descending = entry, False
+            elif isinstance(entry, dict) and len(entry) == 1:
+                field, opts = next(iter(entry.items()))
+                descending = (opts or {}).get("order", "asc") == "desc"
+            else:
+                raise StoreError(f"bad sort entry {entry!r}")
+            parsed_rev.append((field, descending))
+        for part in parts:
+            for field, descending in parsed_rev:
+                part.sort(key=lambda pair, f=field: _sort_key(
+                    get_field(pair[1], f)), reverse=descending)
+        if len(parts) == 1:
+            return parts[0]
+        entries = parsed_rev[::-1]
+        rank = state.rank
+
+        def merge_key(pair):
+            _, source = pair
+            key = []
+            for field, descending in entries:
+                part_key = _sort_key(get_field(source, field))
+                key.append(_RevKey(part_key) if descending else part_key)
+            # Unassigned ids (buggy-shard inventions) break ties last
+            # rather than crashing; see _merge_by_rank.
+            key.append(rank.get(pair[0], float("inf")))
+            return tuple(key)
+
+        return list(heap_merge(*parts, key=merge_key))
+
+    def _scatter_aggs(self, index: str, query, aggs, shards: list[int],
+                      state: _IndexState) -> tuple[int, dict]:
+        """(total, aggregations) for the aggregate-only path."""
+        if self.agg_mode == "columnar":
+            merged = self._try_partial_merge(index, query, aggs, shards,
+                                             want_total=True)
+            if merged is not None:
+                total, aggregations = merged
+                self.agg_merges += 1
+                return total, aggregations
+        parts = self._map_shards(shards,
+                                 lambda shard: shard.scan(index, query))
+        matches = self._merge_by_rank(parts, state)
+        self.agg_gathers += 1
+        return len(matches), run_aggregations(
+            aggs, [source for _, source in matches])
+
+    def _try_partial_merge(self, index: str, query, aggs,
+                           shards: list[int], want_total: bool = False):
+        """Merged aggregations via per-shard partials, or ``None``.
+
+        ``None`` means "cannot be proven byte-identical" — unsupported
+        shape, a partial failed, or a merge-order ambiguity (key-type
+        unification, tie-break on equal ``(count, str(key))``) was
+        detected; the caller gathers instead.
+        """
+        plan = _merge_plan(aggs)
+        if plan is None:
+            return None
+        kernel_start = time.perf_counter_ns()
+        results = self._map_shards(
+            shards, lambda shard: _shard_partial(shard, index, query,
+                                                 aggs, plan))
+        partials = []
+        for partial, hit in results:
+            if hit:
+                self.partial_cache_hits += 1
+            else:
+                self.partial_cache_misses += 1
+            if partial is None:
+                return None
+            partials.append(partial)
+        try:
+            merged = _merge_partials(plan, partials)
+        except Exception:
+            return None
+        if merged is None:
+            return None
+        elapsed = time.perf_counter_ns() - kernel_start
+        self.agg_kernel_ns += elapsed
+        if self._telemetry is not None:
+            self._telemetry["agg_kernel"].observe(elapsed)
+        if want_total:
+            return sum(p["total"] for p in partials), merged
+        return merged
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def update_by_query(self, index: str, query: Optional[dict],
+                        update: Callable[[dict], None] | dict) -> int:
+        self._state(index)
+        shards = self._query_shards(index, query)
+        dirty = callable(update) or self.route_field in update
+        updated = sum(self.shards[i].update_by_query(index, query, update)
+                      for i in shards)
+        if dirty and updated:
+            self._routing_exact[index] = False
+        return updated
+
+    def update_docs(self, index: str, doc_ids: Iterable[str],
+                    fields: dict) -> int:
+        state = self._state(index)
+        owner = state.owner
+        by_shard: dict[int, list[str]] = {}
+        for doc_id in doc_ids:
+            shard = owner.get(doc_id)
+            if shard is None:
+                continue                  # missing ids are skipped
+            by_shard.setdefault(shard, []).append(doc_id)
+        updated = sum(self.shards[i].update_docs(index, ids, fields)
+                      for i, ids in sorted(by_shard.items()))
+        if updated and self.route_field in fields:
+            self._routing_exact[index] = False
+        return updated
+
+    def delete_by_query(self, index: str, query: Optional[dict]) -> int:
+        state = self._state(index)
+        shards = self._query_shards(index, query)
+        removed = 0
+        for i in shards:
+            shard = self.shards[i]
+            target = shard._indices.get(index)
+            if target is None:
+                continue
+            matches = target.scan(query, shard._plan(target, query))
+            for doc_id, _ in matches:
+                target.delete(doc_id)
+                state.rank.pop(doc_id, None)
+                state.owner.pop(doc_id, None)
+            removed += len(matches)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle (DST kill/rebalance stages)
+
+    def rebalance(self, shard_count: Optional[int] = None) -> int:
+        """Re-route every document by its current shard-key value.
+
+        Optionally changes the shard count.  Ids, ranks, and sources
+        are preserved (sources move by reference), so reads before and
+        after are byte-identical; key-based routing becomes exact
+        again.  Returns the number of documents moved to a new shard.
+        """
+        new_count = self.shard_count if shard_count is None else shard_count
+        if not isinstance(new_count, int) or new_count < 1:
+            raise StoreError(f"shard_count must be a positive int: "
+                             f"{shard_count!r}")
+        snapshots = {name: self.scan(name, None) for name in self._states}
+        old_owner = {name: dict(state.owner)
+                     for name, state in self._states.items()}
+        self.shard_count = new_count
+        self.shards = [DocumentStore(plan_mode=self.plan_mode,
+                                     agg_mode=self.agg_mode)
+                       for _ in range(new_count)]
+        moved = 0
+        for name, docs in snapshots.items():
+            state = self._states[name]
+            self._routing_exact[name] = True
+            fields = self._indexed_fields.get(name)
+            for shard in self.shards:
+                shard.ensure_index(name, fields)
+            previous = old_owner[name]
+            for doc_id, source in docs:
+                code = self._route_source(source)
+                state.owner[doc_id] = code
+                if previous.get(doc_id) != code:
+                    moved += 1
+                rank = state.rank.get(doc_id)
+                if rank is None:
+                    # A shard held a doc the coordinator never assigned
+                    # (buggy caller grew a batch).  Adopt it: it scans
+                    # last, so adoption order is deterministic.
+                    rank = state.next_rank
+                    state.next_rank += 1
+                    state.rank[doc_id] = rank
+                    try:
+                        state.next_id = max(state.next_id,
+                                            int(doc_id) + 1)
+                    except ValueError:
+                        pass
+                self.shards[code].index_doc(name, source, doc_id,
+                                            rank=rank)
+        self.rebalances += 1
+        return moved
+
+    def save_shards(self, root) -> None:
+        """Write a per-shard recovery image under ``root``.
+
+        ``shard-NN/router.jsonl`` holds one ``[index, id, rank,
+        source]`` line per document in shard scan order — the session
+        export format cannot be used here because it drops doc ids,
+        which the coordinator's rank/owner maps are keyed by.
+        """
+        from pathlib import Path
+        root = Path(root)
+        meta = {"format": "dio-shard-set-v1",
+                "shard_count": self.shard_count,
+                "shard_key": self.shard_key,
+                "time_window_ns": self.time_window_ns}
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "meta.json").write_text(
+            json.dumps(meta, sort_keys=True) + "\n", encoding="utf-8")
+        for i, shard in enumerate(self.shards):
+            shard_dir = root / f"shard-{i:02d}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            lines = []
+            for name in sorted(shard._indices):
+                target = shard._indices[name]
+                for doc_id, source in target.documents():
+                    lines.append(json.dumps(
+                        [name, doc_id, target._rank[doc_id], source],
+                        separators=(",", ":"), default=repr))
+            (shard_dir / "router.jsonl").write_text(
+                "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+
+    def save_shard_segments(self, root, session: str,
+                            index: str = "dio_trace",
+                            storage_mode: str = "segments") -> list:
+        """Persist each shard's slice of ``session`` into its own
+        storage directory (``shard-NN/``) — segment files by default.
+
+        Operator-facing persistence: each shard owns its directory, so
+        retention/compaction can run per shard.  Returns the per-shard
+        directories that received data.
+        """
+        from pathlib import Path
+
+        from repro.backend.persistence import save_session
+        root = Path(root)
+        written = []
+        for i, shard in enumerate(self.shards):
+            if index not in shard._indices:
+                continue
+            if shard.count(index, {"term": {"session": session}}) == 0:
+                continue
+            shard_dir = root / f"shard-{i:02d}"
+            save_session(shard, session, shard_dir, index=index,
+                         storage_mode=storage_mode)
+            written.append(shard_dir)
+        return written
+
+    def kill_shard(self, shard: int) -> None:
+        """Drop one shard's in-memory state (a simulated node loss).
+
+        Coordinator maps are kept, so a subsequent
+        :meth:`restore_shard` from a :meth:`save_shards` image brings
+        the store back byte-identically; until then the shard's
+        documents are simply absent from reads.
+        """
+        if not 0 <= shard < self.shard_count:
+            raise StoreError(f"no such shard {shard}")
+        replacement = DocumentStore(plan_mode=self.plan_mode,
+                                    agg_mode=self.agg_mode)
+        for name, fields in self._indexed_fields.items():
+            replacement.ensure_index(name, fields)
+        self.shards[shard] = replacement
+        self.shard_kills += 1
+
+    def restore_shard(self, shard: int, root) -> int:
+        """Reload one shard from a :meth:`save_shards` image."""
+        from pathlib import Path
+        if not 0 <= shard < self.shard_count:
+            raise StoreError(f"no such shard {shard}")
+        path = Path(root) / f"shard-{shard:02d}" / "router.jsonl"
+        target_store = self.shards[shard]
+        restored = 0
+        if not path.exists():
+            return 0
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                name, doc_id, rank, source = json.loads(line)
+                state = self._states.get(name)
+                if state is None:
+                    continue
+                target_store.index_doc(name, source, doc_id, rank=rank)
+                state.rank.setdefault(doc_id, rank)
+                state.owner[doc_id] = shard
+                restored += 1
+        return restored
+
+    # ------------------------------------------------------------------
+    # Telemetry
+
+    def _span_start(self) -> Optional[int]:
+        if self._telemetry is None or self._telemetry["clock"] is None:
+            return None
+        return self._telemetry["clock"]()
+
+    def _observe_span(self, name: str, start_ns: Optional[int]) -> None:
+        if start_ns is None:
+            return
+        clock = self._telemetry["clock"]
+        self._telemetry["span"].labels(span=name).observe(clock() - start_ns)
+
+    def _shard_docs(self, shard: int) -> int:
+        if shard >= len(self.shards):
+            return 0
+        return sum(len(index)
+                   for index in self.shards[shard]._indices.values())
+
+    def pruning_ratio(self) -> float:
+        available = sum(s.docs_available for s in self.shards)
+        if available == 0:
+            return 0.0
+        examined = sum(s.docs_examined for s in self.shards)
+        return 1.0 - examined / available
+
+    def agg_cache_hit_rate(self) -> float:
+        cacheable = self.agg_cache_hits + self.agg_cache_misses
+        if cacheable == 0:
+            return 0.0
+        return self.agg_cache_hits / cacheable
+
+    def agg_stats(self) -> dict:
+        """Same shape as :meth:`DocumentStore.agg_stats`, coordinator
+        merges/gathers folded into pushdowns/fallbacks."""
+        return {
+            "pushdowns": self.agg_merges + sum(
+                s.agg_pushdowns for s in self.shards),
+            "fallbacks": self.agg_gathers + sum(
+                s.agg_fallbacks for s in self.shards),
+            "cache_hits": self.agg_cache_hits,
+            "cache_misses": self.agg_cache_misses,
+            "cache_hit_rate": self.agg_cache_hit_rate(),
+            "kernel_ms": (self.agg_kernel_ns + sum(
+                s.agg_kernel_ns for s in self.shards)) / 1e6,
+        }
+
+    def bind_telemetry(self, registry, clock=None) -> None:
+        """Register the ``dio_store_*``/``dio_ingest_*`` families the
+        single store exposes (coordinator counters, shard sums) plus
+        the ``dio_shard_*`` scatter-gather section."""
+        from repro.telemetry.spans import SPAN_HISTOGRAM
+
+        shards = self.shards
+        registry.counter(
+            "dio_store_bulk_requests_total",
+            "Bulk indexing requests received by the document store.",
+        ).set_function(lambda: self.bulk_requests)
+        registry.counter(
+            "dio_store_documents_indexed_total",
+            "Documents indexed across all indices.",
+        ).set_function(lambda: self.documents_indexed)
+        registry.counter(
+            "dio_store_queries_total",
+            "Search and count requests served.",
+        ).set_function(lambda: self.queries)
+        registry.counter(
+            "dio_ingest_columnar_bulks_total",
+            "Bulk requests ingested lane-wise by bulk_columnar "
+            "(no per-event _source materialisation).",
+        ).set_function(lambda: self.columnar_bulks)
+        registry.counter(
+            "dio_ingest_docs_hydrated_total",
+            "Vectorized-ingested documents whose _source dicts were "
+            "lazily materialised because a reader asked for them.",
+        ).set_function(lambda: sum(
+            index.hydrated_docs_total
+            for shard in self.shards for index in shard._indices.values()))
+        registry.gauge(
+            "dio_ingest_pending_docs",
+            "Vectorized-ingested documents currently awaiting lazy "
+            "_source materialisation.",
+        ).set_function(lambda: sum(
+            index.pending_docs
+            for shard in self.shards for index in shard._indices.values()))
+        for mode in ("exact", "pruned", "fullscan"):
+            registry.counter(
+                f"dio_store_plan_{mode}_total",
+                f"Queries the planner resolved as {mode}.",
+            ).set_function(lambda mode=mode: sum(
+                shard.plan_counts[mode] for shard in self.shards))
+        registry.gauge(
+            "dio_store_plan_pruning_ratio",
+            "Cumulative fraction of stored documents the planner's "
+            "candidate sets skipped (1.0 = nothing scanned).",
+        ).set_function(self.pruning_ratio)
+        registry.counter(
+            "dio_store_agg_pushdown_total",
+            "Aggregation requests served by the columnar kernels "
+            "(typed columns, no _source materialisation).",
+        ).set_function(lambda: self.agg_merges + sum(
+            shard.agg_pushdowns for shard in self.shards))
+        registry.counter(
+            "dio_store_agg_fallback_total",
+            "Aggregation requests served by the legacy dict-walking "
+            "path (unsupported shape or agg_mode=legacy).",
+        ).set_function(lambda: self.agg_gathers + sum(
+            shard.agg_fallbacks for shard in self.shards))
+        registry.counter(
+            "dio_store_agg_cache_hits_total",
+            "Aggregation requests answered from the (epoch, query, "
+            "aggs) result cache.",
+        ).set_function(lambda: self.agg_cache_hits)
+        registry.counter(
+            "dio_store_agg_cache_misses_total",
+            "Cacheable aggregation requests that had to be computed.",
+        ).set_function(lambda: self.agg_cache_misses)
+        registry.gauge(
+            "dio_store_agg_cache_hit_rate",
+            "Fraction of cacheable aggregation requests served from "
+            "the result cache.",
+        ).set_function(self.agg_cache_hit_rate)
+        # Scatter-gather section.
+        registry.gauge(
+            "dio_shard_count",
+            "Document-store shards behind the coordinator.",
+        ).set_function(lambda: self.shard_count)
+        docs_family = registry.gauge(
+            "dio_shard_docs",
+            "Documents held per shard.", labelnames=("shard",))
+        for i in range(len(shards)):
+            docs_family.labels(shard=str(i)).set_function(
+                lambda i=i: self._shard_docs(i))
+        registry.counter(
+            "dio_shard_routed_queries_total",
+            "Read requests the coordinator routed to a shard subset "
+            "via the shard key.",
+        ).set_function(lambda: self.routed_queries)
+        registry.counter(
+            "dio_shard_fanout_queries_total",
+            "Read requests fanned out to every shard.",
+        ).set_function(lambda: self.fanout_queries)
+        registry.counter(
+            "dio_shard_agg_merge_total",
+            "Aggregation requests served by merging per-shard "
+            "columnar partials at the coordinator.",
+        ).set_function(lambda: self.agg_merges)
+        registry.counter(
+            "dio_shard_agg_gather_total",
+            "Aggregation requests that fell back to a rank-ordered "
+            "gather of shard matches (byte-identity could not be "
+            "proven for a partial merge).",
+        ).set_function(lambda: self.agg_gathers)
+        registry.counter(
+            "dio_shard_partial_cache_hits_total",
+            "Per-shard aggregation partials served from a shard's "
+            "epoch-keyed cache.",
+        ).set_function(lambda: self.partial_cache_hits)
+        registry.counter(
+            "dio_shard_partial_cache_misses_total",
+            "Per-shard aggregation partials that had to be computed.",
+        ).set_function(lambda: self.partial_cache_misses)
+        registry.counter(
+            "dio_shard_bulk_partitions_total",
+            "Per-shard sub-bulks dispatched by the ingest partitioner.",
+        ).set_function(lambda: self.bulk_partitions)
+        registry.counter(
+            "dio_shard_rebalances_total",
+            "Shard-set rebalances (documents re-routed by key).",
+        ).set_function(lambda: self.rebalances)
+        registry.counter(
+            "dio_shard_kills_total",
+            "Shards dropped by the kill/restore lifecycle.",
+        ).set_function(lambda: self.shard_kills)
+        self._telemetry = {
+            "clock": clock,
+            "bulk_docs": registry.histogram(
+                "dio_store_bulk_docs",
+                "Documents per bulk request.",
+                buckets=(0, 1, 8, 32, 128, 512, 2048, 8192)),
+            "query_hits": registry.histogram(
+                "dio_store_query_hits",
+                "Matching documents per search request.",
+                buckets=(0, 1, 10, 100, 1_000, 10_000, 100_000)),
+            "span": registry.histogram(
+                SPAN_HISTOGRAM,
+                "Duration of pipeline stage spans "
+                "(virtual nanoseconds).", labelnames=("span",)),
+            "agg_kernel": registry.histogram(
+                "dio_store_agg_kernel_ns",
+                "Wall-clock duration of one columnar aggregation "
+                "kernel run (real nanoseconds).",
+                buckets=(0, 10_000, 100_000, 1_000_000, 10_000_000,
+                         100_000_000, 1_000_000_000)),
+        }
+
+
+# ----------------------------------------------------------------------
+# Aggregation partials
+
+
+def _merge_plan(aggs) -> Optional[list[tuple[str, str, dict]]]:
+    """``[(name, kind, body)]`` when every agg is shard-mergeable.
+
+    ``None`` routes to the gather fallback: nested aggs (per-bucket
+    doc sets are not in the partials), malformed specs (the gather
+    reproduces the legacy error behaviour), or unknown kinds.
+    """
+    if not isinstance(aggs, dict) or not aggs:
+        return None
+    plan = []
+    for name, spec in aggs.items():
+        if not isinstance(spec, dict):
+            return None
+        if spec.get("aggs") or spec.get("aggregations"):
+            return None
+        kinds = [k for k in spec if k not in ("aggs", "aggregations")]
+        if len(kinds) != 1:
+            return None
+        kind = kinds[0]
+        body = spec[kind]
+        if not isinstance(body, dict):
+            return None
+        field = body.get("field")
+        if not isinstance(field, str) or not field:
+            return None
+        if kind == "terms":
+            size = body.get("size", 10)
+            if not isinstance(size, int) or isinstance(size, bool):
+                return None
+        elif kind in ("histogram", "date_histogram"):
+            interval = body.get("interval") or body.get("fixed_interval")
+            if (not isinstance(interval, (int, float))
+                    or isinstance(interval, bool) or interval <= 0):
+                return None
+        elif kind == "percentiles":
+            percents = body.get("percents", [1, 5, 25, 50, 75, 95, 99])
+            if not isinstance(percents, (list, tuple)) or not all(
+                    isinstance(p, (int, float)) and not isinstance(p, bool)
+                    for p in percents):
+                return None
+        elif kind not in ("stats", "avg", "min", "max", "sum",
+                          "value_count", "cardinality"):
+            return None
+        plan.append((name, kind, body))
+    return plan
+
+
+def _shard_partial(shard: DocumentStore, index: str, query, aggs,
+                   plan) -> tuple[Optional[dict], bool]:
+    """One shard's ``(partial, cache_hit)``; partial ``None`` on any
+    doubt (the coordinator then gathers).
+
+    Runs on a pool thread: touches only this shard's state and returns
+    counter deltas instead of mutating coordinator counters.
+    """
+    target = shard._indices.get(index)
+    if target is None:
+        return {"total": 0, "aggs": {name: _EMPTY_PARTIALS[kind](body)
+                                     for name, kind, body in plan}}, False
+    key = None
+    if target.agg_mode == "columnar":
+        raw = target.agg_cache_key(query, aggs)
+        if raw is not None:
+            key = raw + ("__shard_partial__",)
+            cached = target.agg_cache_get(key)
+            if cached is not None:
+                return cached, True
+    try:
+        partial = _compute_partial(shard, target, query, plan)
+    except Exception:
+        partial = None
+    if key is not None and partial is not None:
+        target.agg_cache_put(key, partial)
+    return partial, False
+
+
+def _empty_buckets(body):
+    return ("buckets", {})
+
+
+def _empty_reduced(body):
+    return ("reduced", 0, None, None, 0, True)
+
+
+_EMPTY_PARTIALS = {
+    "terms": _empty_buckets,
+    "histogram": _empty_buckets,
+    "date_histogram": _empty_buckets,
+    "value_count": lambda body: ("value_count", 0),
+    "cardinality": lambda body: ("reprs", set()),
+    "percentiles": lambda body: ("values", [], True),
+    "stats": _empty_reduced,
+    "avg": _empty_reduced,
+    "min": _empty_reduced,
+    "max": _empty_reduced,
+    "sum": _empty_reduced,
+}
+
+
+def _compute_partial(shard: DocumentStore, target: Index, query,
+                     plan) -> Optional[dict]:
+    """Evaluate every planned agg over one shard's matches.
+
+    Columnar row-sets first; any agg the columns cannot serve exactly
+    falls back to the shard's sources (one scan, shared by all such
+    aggs).  A ``None`` return asks the coordinator to gather.
+    """
+    plan_q = shard._plan(target, query)
+    rows = None
+    total = None
+    if target.agg_mode == "columnar":
+        try:
+            rows, total = target.matching_rows(query, plan_q)
+        except Exception:
+            rows = None
+    sources = None
+    if rows is None:
+        matches = target.scan(query, plan_q)
+        sources = [source for _, source in matches]
+        total = len(matches)
+
+    def materialised() -> list[dict]:
+        nonlocal sources
+        if sources is None:
+            sources = [source for _, source
+                       in target.scan(query, plan_q)]
+        return sources
+
+    out = {}
+    for name, kind, body in plan:
+        part = None
+        if rows is not None and sources is None:
+            column = target.columns.ensure_column(body["field"],
+                                                  target.docs_view())
+            part = _column_partial(kind, body, column, rows)
+        if part is None:
+            part = _source_partial(kind, body, materialised())
+        if part is None:
+            return None
+        out[name] = part
+    return {"total": total, "aggs": out}
+
+
+def _column_partial(kind: str, body: dict, column, rows):
+    """A partial straight off the typed column, or ``None``."""
+    contiguous = type(rows) is range and rows.step == 1
+    if kind == "terms":
+        if column.unencodable or column.collisions:
+            return None
+        codes = column.code_list()
+        if contiguous:
+            counts = Counter(codes[rows.start:rows.stop])
+        else:
+            counts = Counter(map(codes.__getitem__, rows))
+        counts.pop(-1, None)
+        table = column.table
+        return ("buckets", {table[code]: count
+                            for code, count in counts.items()})
+    if kind in ("histogram", "date_histogram"):
+        if column.num_kind == "obj":
+            return None
+        counts: dict = {}
+        if column.num_kind is not None:
+            nums = column.num_list()
+            numeric = column.numeric
+            interval = body.get("interval") or body.get("fixed_interval")
+            if column.num_kind == "q" and type(interval) is int:
+                for row in rows:
+                    if numeric[row]:
+                        key = nums[row] // interval * interval
+                        counts[key] = counts.get(key, 0) + 1
+            else:
+                for row in rows:
+                    if numeric[row]:
+                        key = int(nums[row] // interval) * interval
+                        counts[key] = counts.get(key, 0) + 1
+        return ("buckets", counts)
+    if kind == "value_count":
+        codes = column.code_list()
+        if contiguous:
+            span = codes[rows.start:rows.stop]
+            return ("value_count", len(span) - span.count(-1))
+        return ("value_count",
+                sum(1 for row in rows if codes[row] != -1))
+    if kind == "cardinality":
+        if column.unencodable:
+            return None
+        codes = column.code_list()
+        if contiguous:
+            used = set(codes[rows.start:rows.stop])
+        else:
+            used = set(map(codes.__getitem__, rows))
+        used.discard(-1)
+        table = column.table
+        return ("reprs", {repr(table[code]) for code in used})
+    # Numeric metrics.
+    values = column.gather_numeric(rows)
+    if column.num_kind == "q" or not values:
+        int_only = True
+    elif column.num_kind == "d":
+        int_only = False
+    else:
+        int_only = all(type(v) is int for v in values)
+    if kind == "percentiles":
+        return ("values", values, int_only)
+    if not values:
+        return ("reduced", 0, None, None, 0, int_only)
+    return ("reduced", len(values), min(values), max(values), sum(values),
+            int_only)
+
+
+def _source_partial(kind: str, body: dict, sources: list[dict]):
+    """A partial from materialised sources (legacy-shaped walks)."""
+    field = body["field"]
+    if kind == "terms":
+        counts: dict = {}
+        for source in sources:
+            key = get_field(source, field)
+            if key is None:
+                continue
+            counts[key] = counts.get(key, 0) + 1
+        return ("buckets", counts)
+    if kind in ("histogram", "date_histogram"):
+        interval = body.get("interval") or body.get("fixed_interval")
+        counts = {}
+        for source in sources:
+            value = get_field(source, field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            key = int(value // interval) * interval
+            counts[key] = counts.get(key, 0) + 1
+        return ("buckets", counts)
+    if kind == "value_count":
+        return ("value_count", len(_field_values(sources, field)))
+    if kind == "cardinality":
+        return ("reprs", set(map(repr, _field_values(sources, field))))
+    values = _numeric_values(sources, field)
+    int_only = all(type(v) is int for v in values)
+    if kind == "percentiles":
+        return ("values", values, int_only)
+    if not values:
+        return ("reduced", 0, None, None, 0, int_only)
+    return ("reduced", len(values), min(values), max(values), sum(values),
+            int_only)
+
+
+def _merge_partials(plan, partials: list[dict]) -> Optional[dict]:
+    """Combine per-shard partials; ``None`` on any ambiguity."""
+    out = {}
+    for name, kind, body in plan:
+        parts = [partial["aggs"][name] for partial in partials]
+        merged = _merge_one(kind, body, parts)
+        if merged is None:
+            return None
+        out[name] = merged
+    return out
+
+
+def _merge_one(kind: str, body: dict, parts: list):
+    if kind in _BUCKET_KINDS:
+        counts: dict = {}
+        first: dict = {}
+        for _, data in parts:
+            for key, count in data.items():
+                if key in counts:
+                    seen = first[key]
+                    # Equal-but-distinguishable keys (1 vs 1.0 vs True,
+                    # 0.0 vs -0.0) unify in first-seen order, which is
+                    # shard order here but document order in the single
+                    # store — undecidable, so gather.
+                    if type(key) is not type(seen) or repr(key) != repr(seen):
+                        return None
+                    counts[key] += count
+                else:
+                    counts[key] = count
+                    first[key] = key
+        if kind == "terms":
+            items = list(counts.items())
+            # Ties on the legacy sort key are broken by first-seen
+            # document order, which the partials do not carry.
+            if len({(count, str(key)) for key, count in items}) != len(items):
+                return None
+            items.sort(key=lambda kv: (-kv[1], str(kv[0])))
+            items = items[:body.get("size", 10)]
+        else:
+            items = sorted(counts.items())
+        return {"buckets": [{"key": key, "doc_count": count}
+                            for key, count in items]}
+    if kind == "value_count":
+        return {"value": sum(part[1] for part in parts)}
+    if kind == "cardinality":
+        reprs: set = set()
+        for part in parts:
+            reprs |= part[1]
+        return {"value": len(reprs)}
+    if kind == "percentiles":
+        values = list(chain.from_iterable(part[1] for part in parts))
+        if not all(part[2] for part in parts):
+            # Floats: NaNs would make the merged sort order (and the
+            # legacy sorted() order) input-order-dependent.
+            if any(v != v for v in values):
+                return None
+        ordered = sorted(values)
+        percents = body.get("percents", [1, 5, 25, 50, 75, 95, 99])
+        return {"values": {f"{p:g}": percentile(ordered, p)
+                           for p in percents}}
+    # stats / avg / min / max / sum — exact only over pure ints, where
+    # the reductions are order-free.
+    if not all(part[5] for part in parts):
+        return None
+    count = sum(part[1] for part in parts)
+    total = sum(part[4] for part in parts)
+    mins = [part[2] for part in parts if part[1]]
+    maxs = [part[3] for part in parts if part[1]]
+    if kind == "stats":
+        if not count:
+            return {"count": 0, "min": None, "max": None, "avg": None,
+                    "sum": 0}
+        return {"count": count, "min": min(mins), "max": max(maxs),
+                "avg": total / count, "sum": total}
+    if not count:
+        return {"value": None if kind != "sum" else 0}
+    if kind == "avg":
+        return {"value": total / count}
+    if kind == "min":
+        return {"value": min(mins)}
+    if kind == "max":
+        return {"value": max(maxs)}
+    return {"value": total}
+
+
+# ----------------------------------------------------------------------
+# Factory
+
+
+def create_store(config=None, *, shard_count: Optional[int] = None,
+                 shard_key: Optional[str] = None,
+                 time_window_ns: Optional[int] = None,
+                 plan_mode: str = "planner",
+                 agg_mode: Optional[str] = None,
+                 parallel: bool = True):
+    """Build the backend a ``TracerConfig [sharding]`` block asks for.
+
+    ``shard_count=1`` returns a plain :class:`DocumentStore` — not a
+    one-shard router — so the default configuration is *literally*
+    today's store: the differential oracle for every sharded run, the
+    same pattern ``ingest_mode``/``storage_mode`` use.
+    """
+    if config is not None:
+        if shard_count is None:
+            shard_count = getattr(config, "shard_count", 1)
+        if shard_key is None:
+            shard_key = getattr(config, "shard_key", "pid")
+        if time_window_ns is None:
+            time_window_ns = getattr(config, "shard_time_window_ns",
+                                     DEFAULT_TIME_WINDOW_NS)
+    shard_count = 1 if shard_count is None else shard_count
+    if not isinstance(shard_count, int) or shard_count < 1:
+        raise StoreError(f"shard_count must be a positive int: "
+                         f"{shard_count!r}")
+    if shard_count == 1:
+        return DocumentStore(plan_mode=plan_mode, agg_mode=agg_mode)
+    return ShardedDocumentStore(
+        shard_count=shard_count,
+        shard_key=shard_key or "pid",
+        time_window_ns=time_window_ns or DEFAULT_TIME_WINDOW_NS,
+        plan_mode=plan_mode, agg_mode=agg_mode, parallel=parallel)

@@ -153,7 +153,8 @@ class Index:
         """
         return _DocsView(self)
 
-    def bulk_append(self, batch) -> int:
+    def bulk_append(self, batch, doc_ids: Optional[list[str]] = None,
+                    ranks: Optional[Iterable[int]] = None) -> int:
         """Append one decoded :class:`RecordBatch` of brand-new docs.
 
         The vectorized twin of ``put`` in a loop: ids and ranks are
@@ -165,16 +166,31 @@ class Index:
         where the batch has groups).  State after this call plus
         :meth:`_hydrate` and :meth:`_flush_all_lanes` is identical to
         ``len(batch)`` sequential ``put`` calls.
+
+        ``doc_ids``/``ranks`` let a coordinator (the shard router)
+        assign *global* ids and insertion ranks so shard-local scan
+        order is the global order.  Ids must be brand-new and, when
+        numeric, ascending — the id counter is advanced past the last
+        one.
         """
         n = len(batch)
         if n == 0:
             return 0
-        start = self._next_id
-        self._next_id = start + n
-        doc_ids = list(map(str, range(start, start + n)))
-        rank = self._next_rank
-        self._rank.update(zip(doc_ids, range(rank, rank + n)))
-        self._next_rank = rank + n
+        if doc_ids is None:
+            start = self._next_id
+            self._next_id = start + n
+            doc_ids = list(map(str, range(start, start + n)))
+        else:
+            doc_ids = list(doc_ids)
+            self._claim_id(doc_ids[-1])
+        if ranks is None:
+            rank = self._next_rank
+            self._rank.update(zip(doc_ids, range(rank, rank + n)))
+            self._next_rank = rank + n
+        else:
+            ranks = list(ranks)
+            self._rank.update(zip(doc_ids, ranks))
+            self._next_rank = max(self._next_rank, ranks[-1] + 1)
         self.epoch += n
         if self._fields:
             self._lane_backlog.append((doc_ids, batch))
@@ -235,13 +251,18 @@ class Index:
         if numeric >= self._next_id:
             self._next_id = numeric + 1
 
-    def put(self, source: dict, doc_id: Optional[str] = None) -> str:
+    def put(self, source: dict, doc_id: Optional[str] = None,
+            rank: Optional[int] = None) -> str:
         """Index one document; returns its id.
 
         Re-putting an existing id is delta-aware: only the secondary
         indexes whose field values changed are touched, and in-place
         mutations of the stored source are handled correctly because
         each :class:`FieldIndex` remembers the value it indexed under.
+
+        ``rank`` pins the insertion rank of a *new* document (the
+        shard router assigns global ranks); it is ignored for ids the
+        index already holds.
         """
         if not isinstance(source, dict):
             raise StoreError(f"document source must be a dict: {source!r}")
@@ -253,8 +274,12 @@ class Index:
         else:
             self._claim_id(doc_id)
         if doc_id not in self._rank:
-            self._rank[doc_id] = self._next_rank
-            self._next_rank += 1
+            if rank is None:
+                self._rank[doc_id] = self._next_rank
+                self._next_rank += 1
+            else:
+                self._rank[doc_id] = rank
+                self._next_rank = max(self._next_rank, rank + 1)
         self._docs[doc_id] = source
         self.epoch += 1
         if self.plan_mode == "planner":
@@ -772,9 +797,10 @@ class DocumentStore:
     # Document APIs
 
     def index_doc(self, index: str, source: dict,
-                  doc_id: Optional[str] = None) -> str:
+                  doc_id: Optional[str] = None,
+                  rank: Optional[int] = None) -> str:
         """Index a single document."""
-        doc_id = self.ensure_index(index).put(source, doc_id)
+        doc_id = self.ensure_index(index).put(source, doc_id, rank=rank)
         self.documents_indexed += 1
         return doc_id
 
@@ -782,14 +808,31 @@ class DocumentStore:
         """Fetch a document source."""
         return self._index(index).get(doc_id)
 
-    def bulk(self, index: str, sources: Iterable[dict]) -> int:
-        """Bulk-index documents; returns how many were indexed."""
+    def bulk(self, index: str, sources: Iterable[dict],
+             doc_ids: Optional[list[str]] = None,
+             ranks: Optional[list[int]] = None) -> int:
+        """Bulk-index documents; returns how many were indexed.
+
+        ``doc_ids``/``ranks`` are the coordinator passthrough (see
+        :meth:`Index.put`); plain callers leave them unset.
+        """
         start = self._span_start()
         target = self.ensure_index(index)
         count = 0
-        for source in sources:
-            target.put(source)
-            count += 1
+        if doc_ids is None:
+            for source in sources:
+                target.put(source)
+                count += 1
+        else:
+            # Sources beyond the id list still get indexed (with local
+            # auto ids): silently truncating would mask a buggy caller
+            # that grew the batch after ids were assigned.
+            for i, source in enumerate(sources):
+                if i < len(doc_ids):
+                    target.put(source, doc_ids[i], rank=ranks[i])
+                else:
+                    target.put(source)
+                count += 1
         self.bulk_requests += 1
         self.documents_indexed += count
         if self._telemetry is not None:
@@ -797,7 +840,9 @@ class DocumentStore:
             self._observe_span("store.bulk", start)
         return count
 
-    def bulk_columnar(self, index: str, batch) -> int:
+    def bulk_columnar(self, index: str, batch,
+                      doc_ids: Optional[list[str]] = None,
+                      ranks: Optional[list[int]] = None) -> int:
         """Bulk-index one decoded :class:`~repro.tracer.batch.RecordBatch`.
 
         The vectorized ingest endpoint: whole lanes land in the doc
@@ -808,7 +853,7 @@ class DocumentStore:
         """
         start = self._span_start()
         target = self.ensure_index(index)
-        count = target.bulk_append(batch)
+        count = target.bulk_append(batch, doc_ids, ranks)
         self.bulk_requests += 1
         self.columnar_bulks += 1
         self.documents_indexed += count

@@ -506,6 +506,57 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    """Serve a fleet of tracing sessions from one sharded backend."""
+    import json
+
+    from repro.backend.tenancy import TenantBackend, TenantQuotaExceeded
+    from repro.dst.runner import DST_INDEX, execute_pipeline
+    from repro.dst.scenario import generate
+    from repro.visualizer import render_table
+
+    fleet = TenantBackend(shards_per_tenant=args.shards,
+                          default_quota_docs=args.quota)
+    for offset in range(args.tenants):
+        seed = args.seed + offset
+        tenant = fleet.register(f"host-{seed}")
+        tenant.ensure_index(DST_INDEX)
+        # Each tenant is one traced host: a seeded pipeline capture
+        # shipped into the tenant's disjoint shard set.
+        run = execute_pipeline(generate(seed), shard_count=1)
+        sources = [source for _, source in run.docs]
+        try:
+            tenant.bulk(DST_INDEX, sources)
+        except TenantQuotaExceeded:
+            pass
+        # One dashboard refresh per tenant, so the rollup shows real
+        # query traffic (and exercises the scatter-gather path).
+        if tenant.docs_held():
+            tenant.search(DST_INDEX, size=0, aggs={
+                "by_syscall": {"terms": {"field": "syscall", "size": 50}}})
+    report = fleet.fleet_report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if not report["total_rejections"] else 1
+    print(f"fleet: {report['tenant_count']} tenants, "
+          f"{report['total_docs']} documents, "
+          f"{report['total_rejections']} quota rejections\n")
+    rows = []
+    for name, entry in report["tenants"].items():
+        quota = entry["quota_docs"]
+        rows.append([
+            name, entry["status"], entry["docs"],
+            "-" if quota is None else quota,
+            f"{entry['quota_utilisation'] * 100:.0f}%",
+            entry["quota_rejections"], entry["shard_count"],
+            entry["queries"],
+        ])
+    print(render_table(
+        ["tenant", "health", "docs", "quota", "used", "rejected",
+         "shards", "queries"], rows))
+    return 0
+
+
 def _cmd_dst_run(args) -> int:
     import json
 
@@ -561,13 +612,15 @@ def _cmd_dst_repro(args) -> int:
         print(f"dst: replaying scenario file {args.scenario}")
     else:
         scenario = generate(args.seed)
-    if args.ingest_mode or args.storage_mode:
+    if args.ingest_mode or args.storage_mode or args.shard_count:
         import dataclasses
         overrides = {}
         if args.ingest_mode:
             overrides["ingest_mode"] = args.ingest_mode
         if args.storage_mode:
             overrides["storage_mode"] = args.storage_mode
+        if args.shard_count:
+            overrides["shard_count"] = args.shard_count
         scenario = dataclasses.replace(scenario, **overrides)
     print(f"dst: {scenario.describe()}")
     result = run_scenario(scenario)
@@ -746,6 +799,22 @@ def main(argv: list[str] | None = None) -> int:
                           help="report format (default: text)")
     p_health.set_defaults(func=_cmd_health)
 
+    p_fleet = sub.add_parser(
+        "fleet", help="serve several traced hosts from one sharded "
+                      "multi-tenant backend and print per-tenant health")
+    p_fleet.add_argument("--tenants", type=int, default=3,
+                         help="traced hosts to simulate (default: 3)")
+    p_fleet.add_argument("--shards", type=int, default=2,
+                         help="shards per tenant (default: 2)")
+    p_fleet.add_argument("--quota", type=int, default=None,
+                         help="per-tenant document quota "
+                              "(default: unlimited)")
+    p_fleet.add_argument("--seed", type=int, default=1,
+                         help="first workload seed (default: 1)")
+    p_fleet.add_argument("--json", action="store_true",
+                         help="emit the fleet report as JSON")
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_dst = sub.add_parser(
         "dst", help="deterministic simulation testing: seeded "
                     "whole-pipeline fuzzing with crash/fault injection")
@@ -791,6 +860,11 @@ def main(argv: list[str] | None = None) -> int:
                              help="override the scenario's storage axis "
                                   "(segments adds the segment-engine "
                                   "recovery checks)")
+    p_dst_repro.add_argument("--shard-count", type=int,
+                             help="override the scenario's shard axis "
+                                  "(>1 serves the fast run from the "
+                                  "scatter-gather router and arms the "
+                                  "shard-kill/rebalance stage)")
     p_dst_repro.add_argument("--save", metavar="PATH",
                              help="write the shrunk scenario to PATH")
     p_dst_repro.set_defaults(func=_cmd_dst_repro)

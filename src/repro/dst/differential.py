@@ -91,7 +91,10 @@ def run_battery(store, index: str, seed: int,
     """
     failures: list[str] = []
     results: list = []
-    target = store.ensure_index(index)
+    # A sharded store has no single Index; its oracle_index() view
+    # re-materialises one in global rank order for the naive oracles.
+    target = (store.oracle_index(index) if hasattr(store, "oracle_index")
+              else store.ensure_index(index))
     for i, spec in enumerate(battery_specs(seed, time_lo, time_hi)):
         query = spec.get("query")
         aggs = spec.get("aggs")

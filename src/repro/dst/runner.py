@@ -40,6 +40,7 @@ from typing import Optional
 from repro.backend.naive import legacy_correlate
 from repro.backend.persistence import (export_session, import_session,
                                        recover_session)
+from repro.backend.router import create_store
 from repro.backend.store import DocumentStore
 from repro.dst import differential, invariants
 from repro.dst.crash import CrashingStore
@@ -221,12 +222,14 @@ class PipelineRun:
 def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
                      agg_mode: str = "columnar",
                      fast_correlator: bool = True,
-                     ingest_mode: Optional[str] = None) -> PipelineRun:
+                     ingest_mode: Optional[str] = None,
+                     shard_count: Optional[int] = None) -> PipelineRun:
     """Run the whole pipeline once for ``scenario``.
 
-    ``ingest_mode`` overrides the scenario's axis — the oracle twin
-    forces ``"legacy"`` so vectorized ingest is differentially checked
-    against the per-event path on every seed.
+    ``ingest_mode`` and ``shard_count`` override the scenario's axes —
+    the oracle twin forces ``"legacy"``/``1`` so vectorized ingest and
+    the scatter-gather router are differentially checked against the
+    per-event single-store path on every seed.
     """
     env = Environment()
     kernel = Kernel(env, ncpus=scenario.ncpus)
@@ -251,7 +254,9 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
         if spec.get("traced", True):
             traced_pids.add(kproc.pid)
 
-    inner = DocumentStore(plan_mode=plan_mode, agg_mode=agg_mode)
+    shards = scenario.shard_count if shard_count is None else shard_count
+    inner = create_store(shard_count=shards, shard_key="pid",
+                         plan_mode=plan_mode, agg_mode=agg_mode)
     layer = inner
     crashing = None
     if scenario.store_crashes:
@@ -690,6 +695,54 @@ def segment_storage_checks(run: PipelineRun, scenario: Scenario,
     return failures
 
 
+def shard_lifecycle_checks(run: PipelineRun, scenario: Scenario,
+                           tmp_dir) -> list[str]:
+    """Shard-kill/restore and mid-life rebalance (``shard_count > 1``).
+
+    Runs last — it mutates the fast store, after every digest and
+    oracle comparison has been taken.  A seed-chosen shard is killed
+    and restored from a saved shard image, then the store is
+    rebalanced to a different shard count; documents, global order,
+    and the dashboard aggregation must come through both transitions
+    byte-identically.
+    """
+    import pathlib
+
+    failures: list[str] = []
+    store = run.inner_store
+    if getattr(store, "shard_count", 1) < 2 or not run.docs:
+        return failures
+    rng = random.Random(f"dio-dst-shard-life-{scenario.seed}")
+    root = pathlib.Path(tmp_dir) / "shards"
+    dashboard_aggs = {"by_syscall": {"terms": {"field": "syscall",
+                                               "size": 50}}}
+    before_scan = store.scan(DST_INDEX, {"match_all": {}})
+    before_aggs = store.search(DST_INDEX, size=0, aggs=dashboard_aggs)
+
+    store.save_shards(root)
+    victim = rng.randrange(store.shard_count)
+    store.kill_shard(victim)
+    after_kill = {doc_id for doc_id, _ in store.scan(DST_INDEX,
+                                                     {"match_all": {}})}
+    survivors = {doc_id for doc_id, _ in before_scan} - after_kill
+    if after_kill - {doc_id for doc_id, _ in before_scan}:
+        failures.append("shard kill: surviving shards invented documents")
+    store.restore_shard(victim, root)
+    if store.scan(DST_INDEX, {"match_all": {}}) != before_scan:
+        failures.append(
+            f"shard restore: store differs from the pre-kill snapshot "
+            f"(killed shard {victim}, {len(survivors)} docs were down)")
+
+    choices = [n for n in (1, 2, 3, 4) if n != store.shard_count]
+    store.rebalance(shard_count=rng.choice(choices))
+    if store.scan(DST_INDEX, {"match_all": {}}) != before_scan:
+        failures.append("rebalance: documents changed while moving shards")
+    elif store.search(DST_INDEX, size=0,
+                      aggs=dashboard_aggs) != before_aggs:
+        failures.append("rebalance: dashboard aggregation diverged")
+    return failures
+
+
 # ----------------------------------------------------------------------
 # The full per-seed harness
 
@@ -721,7 +774,8 @@ def run_scenario(scenario: Scenario, *, check_determinism: bool = True,
         oracle = execute_pipeline(scenario, plan_mode="legacy",
                                   agg_mode="legacy",
                                   fast_correlator=False,
-                                  ingest_mode="legacy")
+                                  ingest_mode="legacy",
+                                  shard_count=1)
         failures += differential.compare_twin_runs(
             fast.docs, oracle.docs, fast.report, oracle.report)
 
@@ -739,8 +793,10 @@ def run_scenario(scenario: Scenario, *, check_determinism: bool = True,
     if tmp_dir is None:
         with tempfile.TemporaryDirectory(prefix="dio-dst-") as tmp:
             failures += storage_recovery_checks(fast, scenario, tmp)
+            failures += shard_lifecycle_checks(fast, scenario, tmp)
     else:
         failures += storage_recovery_checks(fast, scenario, tmp_dir)
+        failures += shard_lifecycle_checks(fast, scenario, tmp_dir)
 
     return RunResult(
         seed=scenario.seed,

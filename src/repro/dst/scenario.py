@@ -98,6 +98,11 @@ class Scenario:
     #: "jsonl" (the oracle export).  Corpus files predating this axis
     #: default to the original JSON-lines checks.
     storage_mode: str = "jsonl"
+    #: Backend shards the fast run serves from (the oracle twin always
+    #: forces 1).  ``> 1`` also arms the post-run shard-kill/rebalance
+    #: stage.  Corpus files predating this axis default to the single
+    #: store.
+    shard_count: int = 1
     #: FaultWindow dicts (``start_ns``/``end_ns``/``kind``/...).
     fault_windows: list = dataclasses.field(default_factory=list)
     #: Virtual times at which the consumer process is killed.
@@ -165,7 +170,8 @@ class Scenario:
                 f"ckills={len(self.consumer_crashes)} "
                 f"scrashes={len(self.store_crashes)} "
                 f"ingest={self.ingest_mode} "
-                f"storage={self.storage_mode}")
+                f"storage={self.storage_mode} "
+                f"shards={self.shard_count}")
 
 
 # ----------------------------------------------------------------------
@@ -400,6 +406,7 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
     # twin still runs as the oracle either way.
     ingest_rng = random.Random(f"dio-dst-ingest-{seed}")
     storage_rng = random.Random(f"dio-dst-storage-mode-{seed}")
+    shard_rng = random.Random(f"dio-dst-shards-{seed}")
 
     return Scenario(
         seed=seed,
@@ -420,5 +427,6 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
         ingest_mode=ingest_rng.choice(("vectorized", "vectorized",
                                        "legacy")),
         storage_mode=storage_rng.choice(("segments", "segments", "jsonl")),
+        shard_count=shard_rng.choice((1, 1, 2, 3)),
         processes=processes,
     )

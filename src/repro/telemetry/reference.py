@@ -56,6 +56,17 @@ _SECTIONS = (
      "``repro.faults.FaultyStore`` (tests, ``dio resilience``)."),
     ("dio_store_", "Document store",
      "The simulated Elasticsearch-like backend."),
+    ("dio_shard_", "Scatter-gather shard router",
+     "The sharded backend (``repro.backend.router``): deterministic "
+     "key-based routing over N document-store shards, parallel "
+     "scatter-gather reads, and partial-merge aggregation.  Present "
+     "when the ``TracerConfig [sharding]`` section asks for "
+     "``shard_count > 1``."),
+    ("dio_tenant_", "Tenancy",
+     "Per-tenant isolation on top of the shard router "
+     "(``repro.backend.tenancy``): disjoint shard sets, admission-"
+     "controlled document quotas, and the per-tenant health rollup "
+     "``dio fleet`` renders."),
     ("dio_correlator_", "Correlator",
      "Shutdown-time file-path correlation (§III-B): joining "
      "file-descriptor tags back to paths."),
@@ -140,7 +151,19 @@ def build_reference_registry() -> MetricsRegistry:
 
     from repro.dst.campaign import CampaignStats
     CampaignStats().bind_telemetry(tracer.telemetry.registry)
-    return tracer.telemetry.registry
+
+    # The sharded router and the tenancy layer bind their families on
+    # top (registration is idempotent, so the shared dio_store_*
+    # names are simply reused).
+    from repro.backend import ShardedDocumentStore, TenantBackend
+    registry = tracer.telemetry.registry
+    router = ShardedDocumentStore(shard_count=2)
+    router.ensure_index("dio_trace")
+    router.bind_telemetry(registry, clock=lambda: env.now)
+    fleet = TenantBackend(shards_per_tenant=2)
+    fleet.register("reference")
+    fleet.bind_telemetry(registry)
+    return registry
 
 
 def metrics_reference_markdown(registry: MetricsRegistry) -> str:

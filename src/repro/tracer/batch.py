@@ -104,6 +104,23 @@ def _lane_values(lane) -> list:
     return lane
 
 
+def _take_lane(lane, rows: list[int]):
+    """Project a lane onto a row subset, keeping its representation.
+
+    A ``_DictLane`` subset stays group-safe (subset of group-safe
+    values); an ``array('q')`` subset stays all-``int``.  Plain list
+    lanes stay plain lists — re-probing groupability on the subset
+    would be wasted work for a representation that already degrades
+    gracefully.
+    """
+    if type(lane) is _DictLane:
+        values = lane.values()
+        return _DictLane([values[i] for i in rows])
+    if type(lane) is array:
+        return array("q", map(lane.__getitem__, rows))
+    return [lane[i] for i in rows]
+
+
 class RecordBatch:
     """One ring-buffer batch decoded into columnar lanes.
 
@@ -153,6 +170,34 @@ class RecordBatch:
 
     def __iter__(self) -> Iterator[dict]:
         return iter(self.to_docs())
+
+    def take(self, rows: list[int]) -> "RecordBatch":
+        """A sub-batch holding ``rows`` of this batch, in that order.
+
+        The shard router partitions one decoded batch into per-shard
+        sub-batches without round-tripping through documents: every
+        lane is projected in one pass, keeping its representation, and
+        args stay zero-copy references.  Memoised state is not shared
+        (sub-batches sanitise/materialise independently on first use).
+        """
+        out = RecordBatch.__new__(RecordBatch)
+        out.session = self.session
+        out._n = len(rows)
+        out._syscall = _take_lane(self._syscall, rows)
+        out._proc = _take_lane(self._proc, rows)
+        out._pid = _take_lane(self._pid, rows)
+        out._tid = _take_lane(self._tid, rows)
+        out._file_type = _take_lane(self._file_type, rows)
+        out._file_tag = _take_lane(self._file_tag, rows)
+        out._ret = _take_lane(self._ret, rows)
+        out._time = _take_lane(self._time, rows)
+        out._time_exit = _take_lane(self._time_exit, rows)
+        out._offset = [self._offset[i] for i in rows]
+        out._raw_args = [self._raw_args[i] for i in rows]
+        out._args = None
+        out._docs = None
+        out._cache = {}
+        return out
 
     def args(self) -> list[dict]:
         """Sanitised argument dicts, one per row (memoised)."""

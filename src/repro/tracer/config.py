@@ -29,6 +29,13 @@ INGEST_MODES = ("vectorized", "legacy")
 #: config parse.
 STORAGE_MODES = ("segments", "jsonl")
 
+#: Deterministic shard-routing keys for the sharded backend
+#: (``shard_count > 1``): route by file tag, by pid, or by time
+#: window.  Kept in sync with ``repro.backend.router.SHARD_KEYS``
+#: (asserted in tests) — importing it here would pull the whole
+#: backend into every config parse.
+SHARD_KEYS = ("file_tag", "pid", "time_window")
+
 
 @dataclasses.dataclass
 class TracerConfig:
@@ -62,6 +69,17 @@ class TracerConfig:
     storage_mode: str = "segments"
     #: Buffered events that trigger sealing a segment (segments mode).
     storage_flush_events: int = 4096
+
+    # -- backend sharding (scatter-gather coordinator) -------------------
+    #: Number of backend shards.  ``1`` (default) serves everything
+    #: from a single ``DocumentStore`` — the differential oracle, same
+    #: pattern as ``ingest_mode``/``storage_mode``.  ``> 1`` routes
+    #: through ``repro.backend.router.ShardedDocumentStore``.
+    shard_count: int = 1
+    #: Deterministic routing key: "file_tag", "pid", or "time_window".
+    shard_key: str = "pid"
+    #: Window width for ``shard_key="time_window"`` routing (ns).
+    shard_time_window_ns: int = 1_000_000_000
 
     # -- ring buffer (paper §III-D: 256 MiB per CPU core) ---------------
     ring_capacity_bytes_per_cpu: int = 256 * 1024 * 1024
@@ -164,6 +182,15 @@ class TracerConfig:
                 " pick 'segments' or 'jsonl'")
         if self.storage_flush_events < 1:
             raise ValueError("storage flush threshold must be >= 1")
+        if not isinstance(self.shard_count, int) or self.shard_count < 1:
+            raise ValueError(
+                f"shard count must be a positive int: {self.shard_count!r}")
+        if self.shard_key not in SHARD_KEYS:
+            raise ValueError(
+                f"unknown shard key {self.shard_key!r};"
+                " pick 'file_tag', 'pid', or 'time_window'")
+        if self.shard_time_window_ns < 1:
+            raise ValueError("shard time window must be >= 1 ns")
         if self.ship_retry_backoff_ns <= 0:
             raise ValueError("retry backoff base must be positive")
         if self.backoff_cap_ns < self.ship_retry_backoff_ns:
@@ -218,6 +245,11 @@ class TracerConfig:
             dir = "/var/lib/dio/run-42"
             mode = "segments"
             flush_events = 4096
+
+            [sharding]
+            shard_count = 4
+            shard_key = "pid"
+            time_window_ns = 1000000000
         """
         data = tomllib.loads(text)
         tracer = data.get("tracer", {})
@@ -254,6 +286,13 @@ class TracerConfig:
             kwargs["storage_mode"] = str(storage["mode"])
         if "flush_events" in storage:
             kwargs["storage_flush_events"] = int(storage["flush_events"])
+        sharding = data.get("sharding", {})
+        if "shard_count" in sharding:
+            kwargs["shard_count"] = int(sharding["shard_count"])
+        if "shard_key" in sharding:
+            kwargs["shard_key"] = str(sharding["shard_key"])
+        if "time_window_ns" in sharding:
+            kwargs["shard_time_window_ns"] = int(sharding["time_window_ns"])
         telemetry = data.get("telemetry", {})
         if "enabled" in telemetry:
             kwargs["telemetry_enabled"] = bool(telemetry["enabled"])

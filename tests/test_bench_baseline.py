@@ -64,6 +64,56 @@ def test_append_refuses_to_clobber_corrupt_baseline(baseline, tmp_path):
     assert path.read_text() == "not json"
 
 
+def test_render_handles_multi_entry_trajectories(baseline, tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    baseline.append_trajectory(path, {"benchmark": "b", "events": 100,
+                                      "speedup": 1.5})
+    baseline.append_trajectory(path, {"benchmark": "b", "events": 1000000,
+                                      "speedup": 2.25})
+    table = baseline.render_trajectory(path)
+    lines = table.splitlines()
+    assert lines[0].split() == ["run", "benchmark", "events", "speedup"]
+    assert len(lines) == 4                       # header + rule + 2 rows
+    assert lines[2].split() == ["1", "b", "100", "1.5"]
+    assert lines[3].split() == ["2", "b", "1000000", "2.25"]
+
+
+def test_render_takes_the_union_of_entry_keys(baseline):
+    # Benchmarks evolve across PRs: later entries may add columns (the
+    # sharding curve) that earlier entries lack, and vice versa.
+    table = baseline.render_trajectory([
+        {"events": 10, "old_only": 1},
+        {"events": 20, "curve": [{"shards": 4, "speedup": 2.1}]},
+    ])
+    lines = table.splitlines()
+    assert lines[0].split() == ["run", "events", "old_only", "curve"]
+    assert '[{"shards":4,"speedup":2.1}]' in lines[3]
+    assert lines[2].split() == ["1", "10", "1"]  # absent cell stays blank
+
+
+def test_render_of_missing_or_empty_trajectory(baseline, tmp_path):
+    assert baseline.render_trajectory(
+        tmp_path / "BENCH_x.json") == "(empty trajectory)"
+    assert baseline.render_trajectory([]) == "(empty trajectory)"
+
+
+def test_render_rejects_non_object_entries(baseline, tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text('[{"run": 1}, 7]', encoding="utf-8")
+    with pytest.raises(baseline.BaselineError) as excinfo:
+        baseline.render_trajectory(path)
+    assert "entry #1" in str(excinfo.value)
+
+
+def test_repo_baselines_render(baseline):
+    # Every checked-in BENCH_*.json must render, whatever its length —
+    # appending the 1M-event sharding runs must not break this.
+    root = _MODULE_PATH.parent.parent
+    for path in sorted(root.glob("BENCH_*.json")):
+        table = baseline.render_trajectory(path)
+        assert table.splitlines()[0].startswith("run"), path.name
+
+
 def test_bench_files_use_the_shared_loader():
     bench_dir = _MODULE_PATH.parent
     for name in ("test_query_engine.py", "test_aggregations.py",

@@ -1,0 +1,312 @@
+"""Unit tests for the shard router and the tenancy layer.
+
+The differential suite (``test_sharding_differential.py``) proves the
+router is observably identical to the plain store; these tests pin the
+*mechanisms* — deterministic routing, subset narrowing, partial-merge
+vs gather accounting, kill/restore/rebalance lifecycle, per-shard
+persistence, and the ``dio_shard_*``/``dio_tenant_*`` telemetry.
+"""
+
+import json
+
+import pytest
+
+from repro.backend import (DocumentStore, ShardedDocumentStore,
+                           TenantBackend, TenantQuotaExceeded, TenantStore,
+                           create_store)
+from repro.backend.store import StoreError
+from repro.telemetry import MetricsRegistry
+
+INDEX = "idx"
+INDEXED = ("syscall", "pid", "file_tag", "session", "time")
+
+
+def make_docs(n, session="s"):
+    return [{"syscall": ("read", "write", "open")[i % 3],
+             "pid": i % 5 + 1, "tid": i % 2 + 1,
+             "time": i * 250, "duration_ns": i,
+             "file_tag": f"/f{i % 4}", "session": session,
+             "proc_name": "app", "ret": 0}
+            for i in range(n)]
+
+
+def sharded(count=3, key="pid", **kwargs):
+    store = ShardedDocumentStore(shard_count=count, shard_key=key,
+                                 time_window_ns=1_000, **kwargs)
+    store.ensure_index(INDEX, indexed_fields=INDEXED)
+    return store
+
+
+class TestRouting:
+    def test_routing_is_deterministic_across_instances(self):
+        a, b = sharded(), sharded()
+        for pid in range(1, 30):
+            assert a._route_value(pid) == b._route_value(pid)
+
+    def test_cross_type_equal_keys_share_a_shard(self):
+        store = sharded(count=5)
+        assert (store._route_value(3) == store._route_value(3.0)
+                == store._route_value(True) * 0 + store._route_value(3))
+        assert store._route_value(True) == store._route_value(1)
+
+    def test_absent_shard_key_still_routes(self):
+        store = sharded(key="file_tag")
+        store.bulk(INDEX, [{"syscall": "read", "pid": 1, "time": 0}])
+        assert store.count(INDEX) == 1
+
+    def test_time_window_groups_neighbouring_events(self):
+        store = sharded(key="time_window")
+        # Same 1000ns window -> same shard; the window id routes, not
+        # the raw timestamp.
+        assert store._route_source({"time": 10}) == store._route_source(
+            {"time": 990})
+
+    def test_bulk_partitions_by_route_code(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(50))
+        assert store.count(INDEX) == 50
+        assert store.bulk_partitions >= 2
+        per_shard = [store._shard_docs(i) for i in range(3)]
+        assert sum(per_shard) == 50
+        assert sum(1 for n in per_shard if n) >= 2
+
+    def test_shard_key_term_query_routes_to_subset(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(30))
+        before = store.routed_queries
+        store.count(INDEX, {"term": {"pid": 2}})
+        assert store.routed_queries == before + 1
+
+    def test_non_key_query_fans_out(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(30))
+        before = store.fanout_queries
+        store.count(INDEX, {"term": {"syscall": "read"}})
+        assert store.fanout_queries == before + 1
+
+    def test_route_field_mutation_disables_exact_routing(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(30))
+        store.update_by_query(INDEX, {"term": {"pid": 1}}, {"pid": 2})
+        # Every pid-1 doc now claims pid 2 but lives on pid-1's shard:
+        # routed reads would miss them, so the coordinator must fan out.
+        before = store.fanout_queries
+        assert store.count(INDEX, {"term": {"pid": 2}}) == store.count(
+            INDEX, {"term": {"pid": 2}})
+        assert store.fanout_queries > before
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(StoreError):
+            ShardedDocumentStore(shard_count=0)
+        with pytest.raises(StoreError):
+            ShardedDocumentStore(shard_key="hostname")
+        with pytest.raises(StoreError):
+            ShardedDocumentStore(time_window_ns=0)
+
+
+class TestMerges:
+    def test_scan_preserves_global_ingest_order(self):
+        store = sharded()
+        docs = make_docs(40)
+        store.bulk(INDEX, docs)
+        got = [doc["duration_ns"] for _, doc in store.scan(INDEX)]
+        assert got == list(range(40))
+
+    def test_sortfree_aggs_use_partial_merge(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(60))
+        before = store.agg_merges
+        store.search(INDEX, size=0, aggs={
+            "per": {"terms": {"field": "syscall", "size": 5}},
+            "lat": {"stats": {"field": "duration_ns"}}})
+        assert store.agg_merges == before + 1
+
+    def test_sorted_agg_requests_fall_back_to_gather(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(60))
+        before = store.agg_gathers
+        store.search(INDEX, sort=[{"time": {"order": "desc"}}], size=5,
+                     aggs={"lat": {"stats": {"field": "duration_ns"}}})
+        assert store.agg_gathers == before + 1
+
+    def test_coordinator_cache_hits_on_repeat(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(60))
+        request = dict(size=0, aggs={"lat": {"stats":
+                                             {"field": "duration_ns"}}})
+        first = store.search(INDEX, **request)
+        hits = store.agg_cache_hits
+        second = store.search(INDEX, **request)
+        assert store.agg_cache_hits == hits + 1
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True)
+
+    def test_cache_invalidated_by_writes(self):
+        store = sharded()
+        store.bulk(INDEX, make_docs(10))
+        request = dict(size=0,
+                       aggs={"n": {"value_count": {"field": "pid"}}})
+        assert store.search(INDEX, **request)[
+            "aggregations"]["n"]["value"] == 10
+        store.bulk(INDEX, make_docs(5))
+        assert store.search(INDEX, **request)[
+            "aggregations"]["n"]["value"] == 15
+
+
+class TestLifecycle:
+    def test_kill_then_restore_round_trips(self, tmp_path):
+        store = sharded()
+        store.bulk(INDEX, make_docs(45))
+        snapshot = list(store.scan(INDEX))
+        store.save_shards(tmp_path)
+        victim = max(range(3), key=store._shard_docs)
+        held = store._shard_docs(victim)
+        store.kill_shard(victim)
+        assert store.shard_kills == 1
+        assert store.count(INDEX) == 45 - held
+        assert store.restore_shard(victim, tmp_path) == held
+        assert list(store.scan(INDEX)) == snapshot
+
+    def test_kill_bad_shard_rejected(self):
+        store = sharded()
+        with pytest.raises(StoreError):
+            store.kill_shard(7)
+        with pytest.raises(StoreError):
+            store.restore_shard(-1, "/nowhere")
+
+    def test_restore_missing_image_is_a_noop(self, tmp_path):
+        store = sharded()
+        store.bulk(INDEX, make_docs(9))
+        before = store.count(INDEX)
+        assert store.restore_shard(0, tmp_path / "empty") == 0
+        assert store.count(INDEX) == before
+
+    def test_rebalance_changes_count_and_keeps_answers(self):
+        store = sharded(count=2)
+        store.bulk(INDEX, make_docs(48))
+        snapshot = list(store.scan(INDEX))
+        aggs = {"per": {"terms": {"field": "pid", "size": 10}}}
+        agg_before = store.search(INDEX, size=0, aggs=aggs)["aggregations"]
+        moved = store.rebalance(4)
+        assert store.shard_count == 4
+        assert len(store.shards) == 4
+        assert store.rebalances == 1
+        assert moved > 0
+        assert list(store.scan(INDEX)) == snapshot
+        assert store.search(INDEX, size=0,
+                            aggs=aggs)["aggregations"] == agg_before
+
+    def test_save_shard_segments_writes_per_shard_dirs(self, tmp_path):
+        store = sharded()
+        store.bulk(INDEX, make_docs(30, session="cap"))
+        written = store.save_shard_segments(tmp_path, "cap", index=INDEX)
+        assert written
+        for shard_dir in written:
+            assert shard_dir.exists()
+            assert any(shard_dir.iterdir())
+
+
+class TestTelemetry:
+    def test_shard_gauges_reflect_layout(self):
+        store = sharded()
+        registry = MetricsRegistry()
+        store.bind_telemetry(registry)
+        store.bulk(INDEX, make_docs(33))
+        store.count(INDEX, {"term": {"pid": 1}})
+        assert registry.value("dio_shard_count") == 3
+        family = registry.get("dio_shard_docs")
+        total = sum(family.labels(shard=str(i)).value for i in range(3))
+        assert total == 33
+        assert registry.value("dio_shard_routed_queries_total") == 1
+        assert registry.value("dio_store_documents_indexed_total") == 33
+
+    def test_store_families_sum_over_shards(self):
+        store = sharded()
+        registry = MetricsRegistry()
+        store.bind_telemetry(registry)
+        store.bulk(INDEX, make_docs(20))
+        store.search(INDEX, size=0,
+                     aggs={"lat": {"stats": {"field": "duration_ns"}}})
+        names = {family.name for family in registry.collect()}
+        assert {"dio_shard_count", "dio_shard_docs",
+                "dio_shard_fanout_queries_total",
+                "dio_store_agg_pushdown_total"} <= names
+
+
+class TestTenancy:
+    def test_quota_rejects_and_counts(self):
+        backend = TenantBackend(shards_per_tenant=2)
+        tenant = backend.register("acme", quota_docs=10)
+        tenant.ensure_index(INDEX, indexed_fields=INDEXED)
+        tenant.bulk(INDEX, make_docs(8))
+        with pytest.raises(TenantQuotaExceeded):
+            tenant.bulk(INDEX, make_docs(5))
+        assert tenant.docs_held() == 8
+        assert tenant.quota_rejections == 1
+        report = backend.fleet_report()
+        assert report["tenants"]["acme"]["status"] == "rejecting"
+
+    def test_tenants_are_isolated(self):
+        backend = TenantBackend(shards_per_tenant=2)
+        a = backend.register("a")
+        b = backend.register("b")
+        for tenant in (a, b):
+            tenant.ensure_index(INDEX, indexed_fields=INDEXED)
+        a.bulk(INDEX, make_docs(12))
+        assert a.docs_held() == 12
+        assert b.docs_held() == 0
+        # Disjoint shard sets: no DocumentStore object is shared.
+        a_shards = {id(s) for s in a.inner.shards}
+        b_shards = {id(s) for s in b.inner.shards}
+        assert not (a_shards & b_shards)
+
+    def test_fleet_report_totals(self):
+        backend = TenantBackend(shards_per_tenant=2, default_quota_docs=100)
+        for name in ("x", "y"):
+            tenant = backend.register(name)
+            tenant.ensure_index(INDEX, indexed_fields=INDEXED)
+            tenant.bulk(INDEX, make_docs(10))
+        report = backend.fleet_report()
+        assert report["total_docs"] == 20
+        assert report["tenant_count"] == 2
+        assert all(t["status"] == "ok"
+                   for t in report["tenants"].values())
+
+    def test_tenant_telemetry_gauges(self):
+        backend = TenantBackend(shards_per_tenant=2)
+        tenant = backend.register("acme", quota_docs=50)
+        tenant.ensure_index(INDEX, indexed_fields=INDEXED)
+        tenant.bulk(INDEX, make_docs(5))
+        registry = MetricsRegistry()
+        backend.bind_telemetry(registry)
+        assert registry.value("dio_tenant_count") == 1
+        assert registry.get("dio_tenant_docs").labels(
+            tenant="acme").value == 5
+        assert registry.get("dio_tenant_shards").labels(
+            tenant="acme").value == 2
+
+    def test_tenant_store_delegates_reads(self):
+        backend = TenantBackend(shards_per_tenant=2)
+        tenant = backend.register("acme")
+        tenant.ensure_index(INDEX, indexed_fields=INDEXED)
+        tenant.bulk(INDEX, make_docs(6))
+        assert isinstance(tenant, TenantStore)
+        assert tenant.count(INDEX, {"term": {"syscall": "read"}}) == 2
+        assert len(list(tenant.scan(INDEX))) == 6
+
+    def test_duplicate_registration_rejected(self):
+        backend = TenantBackend()
+        backend.register("acme")
+        with pytest.raises(StoreError):
+            backend.register("acme")
+
+
+class TestFactory:
+    def test_create_store_single_is_plain(self):
+        assert type(create_store(shard_count=1)) is DocumentStore
+
+    def test_create_store_sharded_passes_modes(self):
+        store = create_store(shard_count=2, shard_key="file_tag",
+                             plan_mode="legacy")
+        assert isinstance(store, ShardedDocumentStore)
+        assert all(s.plan_mode == "legacy" for s in store.shards)
