@@ -1,0 +1,82 @@
+"""io_uring blind-spot trajectory benchmark: classic vs ring-aware.
+
+Runs the Kafka-style log producer's classic and io_uring ports under
+the four :mod:`repro.experiments.uring_case` deployments and holds the
+comparison to the tentpole's acceptance gates:
+
+- **visibility** — on the io_uring port, a classic tracer must observe
+  fewer than 25% of the per-operation I/O events a ring-aware tracer
+  observes (it sees only the ``io_uring_enter`` doorbells);
+- **overhead** — ring-aware tracing may stretch the workload's virtual
+  execution time by at most 10% over the untraced run (completion
+  observation is asynchronous; only the classic-path probes cost);
+- **equivalence** — the classic and io_uring ports leave byte-identical
+  files, identical pagecache dirty state, and identical ``wchar``.
+
+Results are appended to ``BENCH_uring.json`` at the repo root so future
+PRs are held to the same trajectory.  ``DIO_BENCH_EVENTS`` scales the
+record count (default 2 000 records ≈ 10k store events ring-aware).
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import UringScale, run_uring_comparison
+
+N_RECORDS = int(os.environ.get("DIO_BENCH_EVENTS", "2000"))
+BATCH_SIZE = 8
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_uring.json"
+
+
+def _append_trajectory(entry: dict) -> None:
+    from _baseline import append_trajectory
+    append_trajectory(ARTIFACT, entry)
+
+
+def test_uring_blind_spot_trajectory():
+    scale = UringScale(batches=max(4, N_RECORDS // BATCH_SIZE),
+                       batch_size=BATCH_SIZE)
+    start = time.perf_counter()
+    comparison = run_uring_comparison(scale)
+    wall_s = time.perf_counter() - start
+
+    runs = comparison.runs
+    aware = runs["uring-ring-aware"]
+    classic = runs["uring-classic"]
+    untraced = runs["uring-untraced"]
+    visibility = comparison.classic_visibility_ratio
+    overhead = comparison.ring_aware_overhead
+
+    # Every port must confirm every record before the gates mean much.
+    for run in runs.values():
+        assert run.records_confirmed == scale.records, run
+
+    entry = {
+        "benchmark": "uring_blind_spot",
+        "records": scale.records,
+        "batch_size": scale.batch_size,
+        "wall_s": round(wall_s, 4),
+        "untraced_time_ns": untraced.execution_time_ns,
+        "classic_time_ns": classic.execution_time_ns,
+        "ring_aware_time_ns": aware.execution_time_ns,
+        "classic_io_events": classic.io_events,
+        "ring_aware_io_events": aware.io_events,
+        "ring_aware_per_op_events": aware.per_op_events,
+        "classic_visibility_ratio": round(visibility, 4),
+        "ring_aware_overhead": round(overhead, 4),
+        "outcomes_match": comparison.outcomes_match,
+    }
+    _append_trajectory(entry)
+
+    # Gate 1: the blind spot is real — a classic tracer sees <25% of
+    # the per-op I/O events on the io_uring port.
+    assert visibility < 0.25, entry
+    # Gate 2: ring-aware observation is asynchronous; <10% overhead on
+    # the virtual clock vs the untraced run.
+    assert overhead < 1.10, entry
+    # Gate 3: the ports are behaviourally equivalent — identical file
+    # bytes, pagecache dirty state, and written-byte accounting.
+    assert comparison.outcomes_match, entry
+    # The ring-aware store must actually contain the per-op events.
+    assert aware.per_op_events >= scale.records, entry

@@ -19,7 +19,10 @@ develop:
 - :class:`StreamingFdLeakDetector` — per-process open-minus-close
   watermark;
 - :class:`StreamingWriteAmplificationDetector` — background bytes
-  written per client byte written.
+  written per client byte written;
+- :class:`StreamingUringLagDetector` — submission-to-completion lag of
+  io_uring per-op events (only visible under the tracer's ring-aware
+  mode; classic traces never feed it).
 
 Every per-key table is capped (``MAX_*`` constants); overflowing keys
 are dropped deterministically (oldest first), never resized unbounded.
@@ -269,6 +272,86 @@ class StreamingFdLeakDetector(StreamingDetector):
                                            state["first_ns"],
                                            state["last_ns"]),
                 ))
+
+
+#: The per-op event names the ring-aware tracer emits (one per SQE).
+_URING_SET = frozenset({"uring_read", "uring_write", "uring_fsync"})
+
+
+class StreamingUringLagDetector(StreamingDetector):
+    """Submission-to-completion lag of io_uring ops, online.
+
+    Classic syscalls are synchronous: their duration IS the I/O cost
+    and the existing spike attribution covers them.  A ring op's
+    ``duration_ns`` is the *completion lag* — submit-to-CQE time —
+    which silently stretches when the device queue backs up behind
+    linked chains or competing I/O, without any syscall getting
+    slower.  This detector keeps a per-process running mean of the
+    lag and flags the first completion that exceeds both an absolute
+    floor and a multiple of that baseline.  It only ever fires on
+    ``uring_*`` events, so a classic-mode trace (the blind spot)
+    cannot produce this finding — which is itself diagnostic.
+    """
+
+    name = "uring-completion-lag"
+    description = ("an io_uring completion lagged far behind its "
+                   "process's baseline submit-to-CQE latency")
+
+    def __init__(self, min_lag_ns: int = 5_000_000,
+                 baseline_factor: float = 8.0,
+                 min_samples: int = 16) -> None:
+        super().__init__()
+        self.min_lag_ns = min_lag_ns
+        self.baseline_factor = baseline_factor
+        self.min_samples = min_samples
+        self._pids: OrderedDict[int, dict] = OrderedDict()
+
+    def observe_batch(self, docs):
+        observe = self.observe
+        relevant = _URING_SET
+        for source in docs:
+            if source["syscall"] in relevant:
+                observe(source)
+
+    def observe(self, source, event_id=None):
+        if source["syscall"] not in _URING_SET:
+            return
+        lag = source.get("duration_ns")
+        if lag is None:
+            return
+        state = _capped_insert(
+            self._pids, source["pid"],
+            lambda: {"count": 0, "total_lag": 0, "max_lag": 0,
+                     "flagged": False, "ids": [],
+                     "first_ns": source.get("time", 0)},
+            MAX_TRACKED_PIDS)
+        now_ns = source.get("time", 0)
+        if event_id is not None and len(state["ids"]) < MAX_EVIDENCE_IDS:
+            state["ids"].append(event_id)
+        if state["count"] >= self.min_samples and not state["flagged"]:
+            mean = state["total_lag"] / state["count"]
+            if lag >= self.min_lag_ns and lag >= mean * self.baseline_factor:
+                state["flagged"] = True
+                self._emit(now_ns, Finding(
+                    detector=self.name,
+                    severity="warning",
+                    title=(f"pid {source['pid']}: io_uring completion "
+                           f"lag {lag / 1e6:.2f} ms is "
+                           f"{lag / mean:.0f}x the baseline "
+                           f"{mean / 1e6:.3f} ms over "
+                           f"{state['count']} completions"),
+                    details={"pid": source["pid"],
+                             "lag_ns": int(lag),
+                             "baseline_ns": int(mean),
+                             "completions": state["count"],
+                             "op": source["syscall"]},
+                    evidence=make_evidence(state["ids"],
+                                           state["first_ns"], now_ns),
+                ))
+        state["count"] += 1
+        state["total_lag"] += lag
+        if lag > state["max_lag"]:
+            state["max_lag"] = lag
 
 
 class StreamingWriteAmplificationDetector(StreamingDetector):
@@ -863,6 +946,7 @@ def default_streaming_detectors(client_comm: str = "db_bench",
                                  client_comm=client_comm,
                                  background_prefix=background_prefix),
         StreamingWriteAmplificationDetector(client_comm=client_comm),
+        StreamingUringLagDetector(),
     ]
 
 

@@ -10,14 +10,20 @@
   client harness used for §III-C and Table II.
 - :mod:`repro.apps.sqlitedb` — a SQLite-style embedded database with
   rollback-journal and WAL modes (the §V extension case study).
+- :mod:`repro.apps.uringlog` — a Kafka-style batched log producer that
+  runs over classic write syscalls or io_uring SQEs, producing
+  byte-identical files (the ring-mode blind-spot comparison workload).
 """
 
 from repro.apps.logger import LogWriterApp
 from repro.apps.fluentbit import FluentBit, FLUENTBIT_BUGGY, FLUENTBIT_FIXED
 from repro.apps.sqlitedb import MiniSQLite, JOURNAL_DELETE, JOURNAL_WAL
+from repro.apps.uringlog import URINGLOG_MODES, UringLogApp
 
 __all__ = [
     "LogWriterApp",
+    "UringLogApp",
+    "URINGLOG_MODES",
     "FluentBit",
     "FLUENTBIT_BUGGY",
     "FLUENTBIT_FIXED",

@@ -388,6 +388,42 @@ def _cmd_overhead(args) -> int:
     return 0
 
 
+def _cmd_uring(args) -> int:
+    """The io_uring blind-spot comparison: classic vs ring-aware."""
+    import json
+
+    from repro.experiments import UringScale, run_uring_comparison
+    from repro.visualizer import render_table
+
+    scale = UringScale(batches=max(1, args.records // args.batch_size),
+                       batch_size=args.batch_size)
+    comparison = run_uring_comparison(scale)
+    if args.json:
+        print(json.dumps(comparison.as_dict(), indent=2, sort_keys=True))
+        return 0 if comparison.outcomes_match else 1
+    print("io_uring blind spot — the same log workload, classic "
+          "syscalls vs ring submission\n")
+    rows = []
+    for name, run in comparison.runs.items():
+        rows.append([
+            name, run.app_mode, run.ring_mode or "-",
+            f"{run.execution_time_ns / 1e6:.3f} ms",
+            run.store_events, run.per_op_events, run.doorbell_events,
+        ])
+    print(render_table(
+        ["deployment", "app", "tracer", "exec time", "events",
+         "per-op I/O", "doorbells"], rows))
+    print(f"\nclassic visibility on the ring port: "
+          f"{comparison.classic_visibility_ratio * 100:.1f}% "
+          f"of ring-aware I/O events")
+    print(f"ring-aware tracing overhead: "
+          f"{(comparison.ring_aware_overhead - 1) * 100:+.2f}% vs "
+          f"untraced")
+    print(f"classic/io_uring outcomes identical: "
+          f"{comparison.outcomes_match}")
+    return 0 if comparison.outcomes_match else 1
+
+
 def _cmd_resilience(args) -> int:
     import json
 
@@ -612,7 +648,8 @@ def _cmd_dst_repro(args) -> int:
         print(f"dst: replaying scenario file {args.scenario}")
     else:
         scenario = generate(args.seed)
-    if args.ingest_mode or args.storage_mode or args.shard_count:
+    if (args.ingest_mode or args.storage_mode or args.shard_count
+            or args.ring_mode):
         import dataclasses
         overrides = {}
         if args.ingest_mode:
@@ -621,6 +658,8 @@ def _cmd_dst_repro(args) -> int:
             overrides["storage_mode"] = args.storage_mode
         if args.shard_count:
             overrides["shard_count"] = args.shard_count
+        if args.ring_mode:
+            overrides["ring_mode"] = args.ring_mode
         scenario = dataclasses.replace(scenario, **overrides)
     print(f"dst: {scenario.describe()}")
     result = run_scenario(scenario)
@@ -767,6 +806,17 @@ def main(argv: list[str] | None = None) -> int:
                        help="operations per client thread")
     p_ovh.set_defaults(func=_cmd_overhead)
 
+    p_uring = sub.add_parser(
+        "uring", help="io_uring blind spot: the same log workload "
+                      "classic vs ring-aware")
+    p_uring.add_argument("--records", type=int, default=192,
+                         help="log records per deployment (default 192)")
+    p_uring.add_argument("--batch-size", type=int, default=8,
+                         help="records per submission batch (default 8)")
+    p_uring.add_argument("--json", action="store_true",
+                         help="emit the comparison as JSON")
+    p_uring.set_defaults(func=_cmd_uring)
+
     p_res = sub.add_parser(
         "resilience",
         help="trace RocksDB through a scripted backend outage and "
@@ -865,6 +915,11 @@ def main(argv: list[str] | None = None) -> int:
                                   "(>1 serves the fast run from the "
                                   "scatter-gather router and arms the "
                                   "shard-kill/rebalance stage)")
+    p_dst_repro.add_argument("--ring-mode",
+                             choices=("classic", "ring-aware"),
+                             help="override the scenario's tracer ring "
+                                  "mode (ring-aware also arms the "
+                                  "classic-twin oracle stage)")
     p_dst_repro.add_argument("--save", metavar="PATH",
                              help="write the shrunk scenario to PATH")
     p_dst_repro.set_defaults(func=_cmd_dst_repro)

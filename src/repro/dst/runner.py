@@ -14,7 +14,11 @@
 4. **oracle twin run** — the same scenario again on
    ``plan_mode="legacy"``/``agg_mode="legacy"`` with
    :func:`~repro.backend.naive.legacy_correlate`; final stores and
-   correlation reports must match exactly;
+   correlation reports must match exactly.  Ring-aware scenarios add a
+   **classic twin** (:func:`ring_twin_checks`): the same apps under a
+   ``ring_mode="classic"`` tracer must leave identical kernel-level
+   outcomes, and the ring-aware capture minus ``uring_*`` events must
+   equal the classic capture when neither run lost events;
 5. **determinism** — a byte-identical digest check against a third,
    fresh execution of the fast run;
 6. **storage recovery** — the session export is torn at a seed-chosen
@@ -97,10 +101,12 @@ class RunResult:
 class _ProcState:
     """Mutable per-process interpreter state (the open-fd registers)."""
 
-    __slots__ = ("fds",)
+    __slots__ = ("fds", "ring_fd")
 
     def __init__(self) -> None:
         self.fds: list[int] = []
+        #: The process's io_uring fd, once ``io_uring_setup`` ran.
+        self.ring_fd: Optional[int] = None
 
     def pick(self, slot: int) -> Optional[int]:
         if not self.fds:
@@ -202,6 +208,77 @@ def _resolve_op(op: dict, state: _ProcState):
     raise ValueError(f"op interpreter cannot resolve syscall {name!r}")
 
 
+#: Ops the io_uring interpreter handles (outside ``_resolve_op``:
+#: ``uring_prep`` is app-side ring memory, not a syscall, and the
+#: others need the process's ring handle).
+_URING_OPS = frozenset({"io_uring_setup", "io_uring_register",
+                        "io_uring_enter", "uring_prep"})
+
+
+def _run_uring_op(kernel, task, state: _ProcState, op: dict):
+    """Process generator: interpret one io_uring scenario op.
+
+    Ops that cannot apply (no ring yet, no data fd, full SQ) are
+    deterministic skips, mirroring ``_resolve_op``'s contract so the
+    shrinker can delete any prefix of a ring program.
+    """
+    from repro.kernel.uring import SQE, IOSQE_IO_LINK
+    from repro.kernel.syscalls import IORING_ENTER_GETEVENTS
+
+    name = op["sc"]
+    if name == "io_uring_setup":
+        if state.ring_fd is None:
+            ret = yield from kernel.syscall(task, "io_uring_setup",
+                                           entries=op.get("e", 16))
+            if ret >= 0:
+                state.ring_fd = ret
+        return
+    if state.ring_fd is None:
+        return
+    ring = kernel.uring_for_fd(task, state.ring_fd)
+    if ring is None:
+        state.ring_fd = None
+        return
+    if name == "io_uring_register":
+        # ro 0 registers fixed buffers, anything else the open fds as
+        # a fixed-file table; either may fail (EBUSY) — that is data.
+        if op.get("ro", 0) == 0:
+            yield from kernel.syscall(
+                task, "io_uring_register", fd=state.ring_fd, opcode=0,
+                arg=[4096] * max(1, op.get("n", 1)),
+                nr_args=max(1, op.get("n", 1)))
+        else:
+            yield from kernel.syscall(
+                task, "io_uring_register", fd=state.ring_fd, opcode=2,
+                arg=list(state.fds) or [0], nr_args=len(state.fds) or 1)
+        return
+    if name == "uring_prep":
+        fd = state.pick(op.get("f", 0))
+        if fd is None:
+            return
+        n = max(1, op.get("n", 64))
+        offset = op.get("o", 0)
+        flags = IOSQE_IO_LINK if op.get("ln") else 0
+        kind = op.get("u", "write")
+        if kind == "read":
+            sqe = SQE.read(fd, n, offset, flags=flags)
+        elif kind == "fsync":
+            sqe = SQE.fsync(fd, flags=flags)
+        else:
+            sqe = SQE.write(fd, b"u" * n, offset, flags=flags)
+        ring.prepare(sqe)   # full SQ -> deterministic drop
+        return
+    if name == "io_uring_enter":
+        to_submit = len(ring.sq)
+        yield from kernel.syscall(
+            task, "io_uring_enter", fd=state.ring_fd,
+            to_submit=to_submit, min_complete=to_submit,
+            flags=IORING_ENTER_GETEVENTS)
+        ring.reap()
+        return
+    raise ValueError(f"unknown io_uring op {name!r}")
+
+
 # ----------------------------------------------------------------------
 # Pipeline execution
 
@@ -209,7 +286,7 @@ class PipelineRun:
     """Final state of one pipeline execution."""
 
     __slots__ = ("tracer", "store", "inner_store", "crashing", "faulty",
-                 "session", "traced_pids", "docs", "report")
+                 "session", "traced_pids", "docs", "report", "kernel")
 
     def snapshot_docs(self) -> list:
         """Deterministic (id, source) snapshot of the trace index."""
@@ -223,13 +300,16 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
                      agg_mode: str = "columnar",
                      fast_correlator: bool = True,
                      ingest_mode: Optional[str] = None,
-                     shard_count: Optional[int] = None) -> PipelineRun:
+                     shard_count: Optional[int] = None,
+                     ring_mode: Optional[str] = None) -> PipelineRun:
     """Run the whole pipeline once for ``scenario``.
 
     ``ingest_mode`` and ``shard_count`` override the scenario's axes —
     the oracle twin forces ``"legacy"``/``1`` so vectorized ingest and
     the scatter-gather router are differentially checked against the
-    per-event single-store path on every seed.
+    per-event single-store path on every seed.  ``ring_mode`` likewise
+    overrides the tracer's ring mode — the classic-twin stage forces
+    ``"classic"`` on ring-aware scenarios to pin the blind spot.
     """
     env = Environment()
     kernel = Kernel(env, ncpus=scenario.ncpus)
@@ -280,6 +360,7 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
         resilience_seed=scenario.seed,
         correlate_on_stop=fast_correlator,
         ingest_mode=ingest_mode or scenario.ingest_mode,
+        ring_mode=ring_mode or scenario.ring_mode,
     )
     tracer = DIOTracer(env, kernel, faulty, config)
     tracer.attach()
@@ -291,6 +372,10 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
             delay = op.get("d", 0)
             if delay:
                 yield env.timeout(delay)
+            name = op["sc"]
+            if name in _URING_OPS:
+                yield from _run_uring_op(kernel, task, state, op)
+                continue
             name, kwargs = _resolve_op(op, state)
             if name is None:
                 continue
@@ -299,6 +384,10 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
                 state.fds.append(ret)
             elif name == "close" and ret == 0:
                 state.fds.remove(kwargs["fd"])
+        # A torn-down process must not leave its ring behind: close it
+        # like a real runtime's exit path would.
+        if state.ring_fd is not None:
+            yield from kernel.syscall(task, "close", fd=state.ring_fd)
 
     def crash_schedule():
         for at_ns in sorted(scenario.consumer_crashes):
@@ -321,6 +410,7 @@ def execute_pipeline(scenario: Scenario, *, plan_mode: str = "planner",
 
     run = PipelineRun()
     run.tracer = tracer
+    run.kernel = kernel
     run.store = faulty
     run.inner_store = inner
     run.crashing = crashing
@@ -695,6 +785,72 @@ def segment_storage_checks(run: PipelineRun, scenario: Scenario,
     return failures
 
 
+def ring_twin_checks(fast: PipelineRun, scenario: Scenario) -> list[str]:
+    """Classic-twin oracle for ring-aware scenarios.
+
+    Re-runs the scenario with the tracer forced to ``ring_mode =
+    "classic"`` — the applications are untouched and the ring-aware
+    observer charges no virtual time, so the kernel-level outcome must
+    be identical: same file bytes for every pool path, same syscall
+    counts, same io_uring ring statistics.  When neither capture lost
+    events, the ring-aware document set minus the ``uring_*`` per-op
+    events must equal the classic capture exactly (the blind spot is
+    *additive* visibility, never divergence).
+    """
+    failures: list[str] = []
+    if scenario.ring_mode != "ring-aware":
+        return failures
+    twin = execute_pipeline(scenario, ring_mode="classic")
+
+    for path in PATH_POOL:
+        fast_inode = fast.kernel.vfs.lookup(path)
+        twin_inode = twin.kernel.vfs.lookup(path)
+        fast_data = None if fast_inode is None else bytes(fast_inode.data)
+        twin_data = None if twin_inode is None else bytes(twin_inode.data)
+        if fast_data != twin_data:
+            failures.append(
+                f"ring twin: {path} diverged (ring-aware "
+                f"{len(fast_data or b'')} B vs classic "
+                f"{len(twin_data or b'')} B)")
+    if (dict(fast.kernel.syscall_counts)
+            != dict(twin.kernel.syscall_counts)):
+        failures.append(
+            f"ring twin: syscall counts diverged "
+            f"{dict(fast.kernel.syscall_counts)} vs "
+            f"{dict(twin.kernel.syscall_counts)}")
+    if fast.kernel.uring_stats != twin.kernel.uring_stats:
+        failures.append(
+            f"ring twin: io_uring stats diverged "
+            f"{fast.kernel.uring_stats} vs {twin.kernel.uring_stats}")
+
+    # Document-set comparison only when nothing could legitimately
+    # lose events: ring-aware produces more volume, so faults, crash
+    # points, and drop backpressure can swallow *different* events in
+    # the two captures without either being wrong.
+    def lossless(run: PipelineRun) -> bool:
+        stats = run.tracer.stats
+        return (run.tracer.ring.stats.dropped == 0
+                and stats.spilled_records == 0)
+
+    fault_free = (not scenario.fault_windows
+                  and not scenario.consumer_crashes
+                  and not scenario.store_crashes
+                  and scenario.backpressure_policy != "drop")
+    if fault_free and lossless(fast) and lossless(twin):
+        from repro.kernel.uring import URING_EVENT_NAMES
+        fast_keys = {invariants.event_key(s) for _, s in fast.docs
+                     if s.get("syscall") not in URING_EVENT_NAMES}
+        twin_keys = {invariants.event_key(s) for _, s in twin.docs}
+        if fast_keys != twin_keys:
+            missing = len(twin_keys - fast_keys)
+            extra = len(fast_keys - twin_keys)
+            failures.append(
+                f"ring twin: classic-visible events diverged "
+                f"({missing} missing, {extra} extra in the ring-aware "
+                f"capture after removing uring_* events)")
+    return failures
+
+
 def shard_lifecycle_checks(run: PipelineRun, scenario: Scenario,
                            tmp_dir) -> list[str]:
     """Shard-kill/restore and mid-life rebalance (``shard_count > 1``).
@@ -778,6 +934,7 @@ def run_scenario(scenario: Scenario, *, check_determinism: bool = True,
                                   shard_count=1)
         failures += differential.compare_twin_runs(
             fast.docs, oracle.docs, fast.report, oracle.report)
+        failures += ring_twin_checks(fast, scenario)
 
     if check_determinism:
         rerun = execute_pipeline(scenario)

@@ -2,7 +2,8 @@
 
 A :class:`Scenario` is the *complete* description of one whole-pipeline
 run: the simulated applications (per-process syscall programs drawn
-from the 42 traced syscalls), the tracer configuration (ring policy,
+from the 42 traced syscalls, plus io_uring submitters on the ring
+axis), the tracer configuration (ring policy,
 batch size, backpressure), the backend fault plan, and the crash
 schedule (consumer kills, store crashes with torn-WAL recovery).
 Everything downstream — the kernel, the tracer, the store, the
@@ -103,6 +104,12 @@ class Scenario:
     #: stage.  Corpus files predating this axis default to the single
     #: store.
     shard_count: int = 1
+    #: Tracer ring mode: "classic" (io_uring ops invisible beyond the
+    #: ``io_uring_enter`` doorbell) or "ring-aware" (per-SQE/CQE
+    #: ``uring_*`` events).  "ring-aware" also arms the classic-twin
+    #: oracle stage.  Corpus files predating this axis default to the
+    #: classic tracer.
+    ring_mode: str = "classic"
     #: FaultWindow dicts (``start_ns``/``end_ns``/``kind``/...).
     fault_windows: list = dataclasses.field(default_factory=list)
     #: Virtual times at which the consumer process is killed.
@@ -171,7 +178,8 @@ class Scenario:
                 f"scrashes={len(self.store_crashes)} "
                 f"ingest={self.ingest_mode} "
                 f"storage={self.storage_mode} "
-                f"shards={self.shard_count}")
+                f"shards={self.shard_count} "
+                f"uring={self.ring_mode}")
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +341,39 @@ def _ops_mixed(rng: random.Random, n: int) -> list:
     return ops
 
 
+def _ops_uring_worker(rng: random.Random, n: int) -> list:
+    """Batched io_uring submitter: prep SQEs app-side, ring a doorbell.
+
+    Op codes beyond the classic set (the runner interprets them):
+    ``io_uring_setup`` (``e`` = SQ entries), ``uring_prep`` (``u`` =
+    SQE opcode, ``ln`` = link-to-next flag; no syscall), and
+    ``io_uring_enter``/``io_uring_register`` (``ro`` = register
+    opcode).  Ops on a ring-less process are deterministic skips, so
+    the shrinker can delete the setup op without breaking replay.
+    """
+    path = rng.randrange(len(PATH_POOL))
+    ops = [{"sc": "open", "p": path, "fl": O_CREAT | O_RDWR,
+            "d": _delay(rng)},
+           {"sc": "io_uring_setup", "e": rng.choice((8, 16, 32)),
+            "d": _delay(rng)}]
+    if rng.random() < 0.4:
+        ops.append({"sc": "io_uring_register", "ro": 0,
+                    "n": rng.randrange(1, 5), "d": _delay(rng)})
+    for _ in range(n):
+        batch = rng.randrange(1, 5)
+        for i in range(batch):
+            u = rng.choice(("write", "write", "read", "fsync"))
+            ops.append({"sc": "uring_prep", "u": u, "f": 0,
+                        "n": rng.choice((64, 512, 2048)),
+                        "o": rng.randrange(0, 1 << 14),
+                        "ln": 1 if (i < batch - 1
+                                    and rng.random() < 0.25) else 0,
+                        "d": _delay(rng)})
+        ops.append({"sc": "io_uring_enter", "d": _delay(rng)})
+    ops.append({"sc": "close", "f": 0, "d": _delay(rng)})
+    return ops
+
+
 _MODEL_BUILDERS = {
     "sequential_writer": _ops_sequential_writer,
     "appender": _ops_appender,
@@ -408,6 +449,23 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
     storage_rng = random.Random(f"dio-dst-storage-mode-{seed}")
     shard_rng = random.Random(f"dio-dst-shards-{seed}")
 
+    # The io_uring axis draws from its own derived stream too.  Half
+    # the seeds gain a ring-submitting worker; those run ring-aware
+    # twice as often as classic (classic-with-a-ring pins the blind
+    # spot, ring-aware arms the classic-twin oracle stage).
+    uring_rng = random.Random(f"dio-dst-uring-{seed}")
+    ring_mode = "classic"
+    if uring_rng.random() < 0.5:
+        ring_mode = uring_rng.choice(("classic", "ring-aware",
+                                      "ring-aware"))
+        processes.append({
+            "name": "uring_worker",
+            "traced": True,
+            "ops": _ops_uring_worker(uring_rng,
+                                     max(2, int(uring_rng.randrange(3, 9)
+                                                * scale))),
+        })
+
     return Scenario(
         seed=seed,
         ncpus=rng.randrange(1, 4),
@@ -428,5 +486,6 @@ def generate(seed: int, scale: float = 1.0) -> Scenario:
                                        "legacy")),
         storage_mode=storage_rng.choice(("segments", "segments", "jsonl")),
         shard_count=shard_rng.choice((1, 1, 2, 3)),
+        ring_mode=ring_mode,
         processes=processes,
     )

@@ -14,6 +14,9 @@ examples assert on and render:
 - :mod:`repro.experiments.resilience` — the RocksDB workload traced
   through a scripted backend outage; asserts the ingestion path's
   loss/latency envelopes (see ``docs/RELIABILITY.md``).
+- :mod:`repro.experiments.uring_case` — the io_uring blind-spot
+  comparison: the same log workload over classic syscalls and ring
+  submission, traced classic vs ring-aware.
 """
 
 from repro.experiments.fluentbit_case import FluentBitCaseResult, run_fluentbit_case
@@ -24,6 +27,9 @@ from repro.experiments.resilience import (ResilienceCaseResult,
                                           run_resilience_case)
 from repro.experiments.sqlite_case import (SQLiteCaseResult, run_both_modes,
                                            run_sqlite_case)
+from repro.experiments.uring_case import (URING_DEPLOYMENTS, UringCaseRun,
+                                          UringComparison, UringScale,
+                                          run_uring_comparison)
 
 __all__ = [
     "FluentBitCaseResult",
@@ -38,4 +44,9 @@ __all__ = [
     "SQLiteCaseResult",
     "run_both_modes",
     "run_sqlite_case",
+    "URING_DEPLOYMENTS",
+    "UringCaseRun",
+    "UringComparison",
+    "UringScale",
+    "run_uring_comparison",
 ]

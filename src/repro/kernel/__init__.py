@@ -13,6 +13,9 @@ This package substitutes for the Linux kernel pieces DIO instruments:
   and ``comm`` names, sharing per-process file-descriptor tables.
 - :mod:`repro.kernel.syscalls` — the 42 storage-related system calls of
   the paper's Table I, instrumented with entry/exit tracepoints.
+- :mod:`repro.kernel.uring` — io_uring submission/completion rings:
+  the ring-based I/O path that bypasses the classic syscall surface
+  (and therefore classic tracing; see the tracer's ``ring_mode``).
 - :mod:`repro.kernel.tracepoints` — the attach points used by the eBPF
   layer (:mod:`repro.ebpf`) and by the strace-style baseline tracer.
 """
@@ -23,8 +26,15 @@ from repro.kernel.vfs import VirtualFileSystem
 from repro.kernel.blockdev import BlockDevice
 from repro.kernel.pagecache import PageCache
 from repro.kernel.process import KernelProcess, Task
-from repro.kernel.syscalls import Kernel, SYSCALLS, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC, O_APPEND, O_EXCL, O_DIRECTORY, SEEK_SET, SEEK_CUR, SEEK_END
+from repro.kernel.syscalls import Kernel, SYSCALLS, URING_SYSCALLS, ALL_SYSCALLS, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC, O_APPEND, O_EXCL, O_DIRECTORY, SEEK_SET, SEEK_CUR, SEEK_END
 from repro.kernel.tracepoints import TracepointRegistry, SyscallContext
+from repro.kernel.uring import (SQE, CQE, IoUring, IOSQE_FIXED_FILE,
+                                IOSQE_IO_LINK, IORING_ENTER_GETEVENTS,
+                                IORING_REGISTER_BUFFERS,
+                                IORING_UNREGISTER_BUFFERS,
+                                IORING_REGISTER_FILES,
+                                IORING_UNREGISTER_FILES,
+                                URING_EVENT_NAMES, URING_OP_EVENTS)
 
 __all__ = [
     "Errno",
@@ -38,8 +48,22 @@ __all__ = [
     "Task",
     "Kernel",
     "SYSCALLS",
+    "URING_SYSCALLS",
+    "ALL_SYSCALLS",
     "TracepointRegistry",
     "SyscallContext",
+    "SQE",
+    "CQE",
+    "IoUring",
+    "IOSQE_FIXED_FILE",
+    "IOSQE_IO_LINK",
+    "IORING_ENTER_GETEVENTS",
+    "IORING_REGISTER_BUFFERS",
+    "IORING_UNREGISTER_BUFFERS",
+    "IORING_REGISTER_FILES",
+    "IORING_UNREGISTER_FILES",
+    "URING_EVENT_NAMES",
+    "URING_OP_EVENTS",
     "O_RDONLY",
     "O_WRONLY",
     "O_RDWR",

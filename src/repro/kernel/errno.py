@@ -18,6 +18,7 @@ class Errno(enum.IntEnum):
     ENOENT = 2
     EINTR = 4
     EIO = 5
+    ENXIO = 6
     EBADF = 9
     ENOMEM = 12
     EACCES = 13
@@ -38,6 +39,7 @@ class Errno(enum.IntEnum):
     ELOOP = 40
     ENODATA = 61
     EOPNOTSUPP = 95
+    ECANCELED = 125
 
 
 class KernelError(Exception):

@@ -30,6 +30,15 @@ from repro.kernel.pagecache import PageCache
 from repro.kernel.process import (KernelProcess, OpenFileDescription,
                                   ProcessTable, Task)
 from repro.kernel.tracepoints import SyscallContext, TracepointRegistry
+from repro.kernel.uring import (CQE, IOSQE_FIXED_FILE, IOSQE_IO_LINK,
+                                IORING_ENTER_GETEVENTS,
+                                IORING_REGISTER_BUFFERS,
+                                IORING_REGISTER_FILES,
+                                IORING_UNREGISTER_BUFFERS,
+                                IORING_UNREGISTER_FILES, URING_MAX_ENTRIES,
+                                URING_OP_EVENTS, URING_OP_FSYNC,
+                                URING_OP_READ, URING_OP_WRITE,
+                                URING_SQE_SUBMIT_NS, IoUring, SQE)
 from repro.kernel.vfs import VirtualFileSystem
 
 # --- open(2) flag bits (octal, as in Linux) --------------------------------
@@ -95,6 +104,18 @@ DIRECTORY_SYSCALLS = frozenset({
 #: The full supported set (42 syscalls, as in the paper's Table I).
 SYSCALLS = DATA_SYSCALLS | METADATA_SYSCALLS | XATTR_SYSCALLS | DIRECTORY_SYSCALLS
 
+#: The io_uring control surface (beyond the paper's Table I): the only
+#: syscalls a ring-based application issues for its data path.  Kept
+#: separate from ``SYSCALLS`` so Table I assertions and anything
+#: seeded from the classic set (e.g. the DST mixed-syscall pool) stay
+#: byte-identical.
+URING_SYSCALLS = frozenset({
+    "io_uring_setup", "io_uring_enter", "io_uring_register",
+})
+
+#: Everything the kernel dispatches: Table I plus the ring surface.
+ALL_SYSCALLS = SYSCALLS | URING_SYSCALLS
+
 
 def syscall_category(name: str) -> str:
     """Return the Table I category of ``name``."""
@@ -106,6 +127,8 @@ def syscall_category(name: str) -> str:
         return "extended attributes"
     if name in DIRECTORY_SYSCALLS:
         return "directory management"
+    if name in URING_SYSCALLS:
+        return "io_uring"
     raise ValueError(f"unknown syscall {name!r}")
 
 
@@ -141,6 +164,23 @@ class Kernel:
         #: Extra mounted devices: dev number -> (BlockDevice, PageCache).
         #: The root device/cache stay on ``self.device``/``self.cache``.
         self._io_backends: dict[int, tuple[BlockDevice, PageCache]] = {}
+
+        #: Live io_uring instances, keyed ``(pid, ring_fd)``; dropped
+        #: when the ring fd is closed.
+        self._urings: dict[tuple[int, int], IoUring] = {}
+        #: Kernel-side completion observers: callables receiving
+        #: ``(ctx, sqe, cqe, ring)`` at CQE-post time.  This is the
+        #: hook the ring-aware tracer mode attaches to — classic
+        #: tracers (syscall tracepoints only) never see these.
+        self._uring_observers: list = []
+        #: io_uring lifecycle counters (``dio_uring_*`` telemetry).
+        self.uring_stats: dict[str, int] = {
+            "setups": 0, "sqes_submitted": 0, "cqes_posted": 0,
+            "cq_overflows": 0, "chain_cancellations": 0,
+        }
+        #: Anonymous-inode numbering for ring fds (dev 0 keeps them
+        #: disjoint from every VFS inode).
+        self._next_anon_ino = 1
 
     # ------------------------------------------------------------------
     # Mounts (the testbed's multiple disks)
@@ -209,7 +249,7 @@ class Kernel:
         Returns the syscall's return value; errors are returned as
         ``-errno`` rather than raised, as the kernel ABI does.
         """
-        if name not in SYSCALLS:
+        if name not in ALL_SYSCALLS:
             raise ValueError(f"unsupported syscall {name!r}")
         self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1
 
@@ -337,6 +377,7 @@ class Kernel:
         description = task.fds.remove(fd)
         inode = description.inode
         self._note_inode(ctx, inode, fd_based=True)
+        self._urings.pop((task.pid, fd), None)
         self.vfs.inode_closed(inode)
         if inode.nlink == 0 and inode.open_count == 0:
             self._cache_for(inode).drop_inode(inode.ino)
@@ -731,3 +772,213 @@ class Kernel:
         self.vfs.rmdir(path)
         yield from self._device_for_path(path).write(512)
         return 0
+
+    # ------------------------------------------------------------------
+    # io_uring
+
+    def add_uring_observer(self, callback) -> None:
+        """Subscribe ``callback(ctx, sqe, cqe, ring)`` to completions."""
+        self._uring_observers.append(callback)
+
+    def remove_uring_observer(self, callback) -> None:
+        """Unsubscribe a previously added completion observer."""
+        self._uring_observers.remove(callback)
+
+    def uring_for_fd(self, task: Task, fd: int) -> Optional[IoUring]:
+        """The ring behind ``fd`` in ``task``'s process, if any."""
+        return self._urings.get((task.pid, fd))
+
+    def _sys_io_uring_setup(self, task, ctx, entries: int = 128,
+                            cq_entries: Optional[int] = None):
+        if entries <= 0 or entries > URING_MAX_ENTRIES:
+            raise KernelError(Errno.EINVAL, f"entries {entries}")
+        cq_size = cq_entries if cq_entries is not None else 2 * entries
+        if cq_size < entries:
+            raise KernelError(Errno.EINVAL, f"cq_entries {cq_size}")
+        ino = self._next_anon_ino
+        self._next_anon_ino += 1
+        inode = Inode(ino, 0, FileType.UNKNOWN, 0, self.env.now)
+        inode.open_count = 1
+        description = OpenFileDescription(
+            inode, O_RDWR, readable=True, writable=True, append=False,
+            path_hint="anon_inode:[io_uring]")
+        fd = task.fds.install(description)
+        self._urings[(task.pid, fd)] = IoUring(fd, entries, cq_size)
+        self.uring_stats["setups"] += 1
+        self._note_inode(ctx, inode, fd_based=True)
+        return fd
+        yield  # pragma: no cover - makes this a generator
+
+    def _sys_io_uring_register(self, task, ctx, fd: int, opcode: int,
+                               arg=None, nr_args: int = 0):
+        ring = self._urings.get((task.pid, fd))
+        if ring is None:
+            raise KernelError(Errno.EBADF, f"fd {fd} is not an io_uring")
+        self._note_inode(ctx, task.fds.get(fd).inode, fd_based=True)
+        if opcode == IORING_REGISTER_BUFFERS:
+            if ring.registered_buffers is not None:
+                raise KernelError(Errno.EBUSY, "buffers already registered")
+            count = nr_args or len(arg or ())
+            if count <= 0:
+                raise KernelError(Errno.EINVAL, "no buffers to register")
+            ring.registered_buffers = count
+        elif opcode == IORING_UNREGISTER_BUFFERS:
+            if ring.registered_buffers is None:
+                raise KernelError(Errno.ENXIO, "no buffers registered")
+            ring.registered_buffers = None
+        elif opcode == IORING_REGISTER_FILES:
+            if ring.registered_files is not None:
+                raise KernelError(Errno.EBUSY, "files already registered")
+            fds = list(arg or ())
+            if not fds:
+                raise KernelError(Errno.EINVAL, "no files to register")
+            # Resolving now pins the open file descriptions: fixed-file
+            # SQEs keep working even if the app closes the plain fds.
+            ring.registered_files = [task.fds.get(n) for n in fds]
+        elif opcode == IORING_UNREGISTER_FILES:
+            if ring.registered_files is None:
+                raise KernelError(Errno.ENXIO, "no files registered")
+            ring.registered_files = None
+        else:
+            raise KernelError(Errno.EINVAL, f"register opcode {opcode}")
+        return 0
+        yield  # pragma: no cover - makes this a generator
+
+    def _sys_io_uring_enter(self, task, ctx, fd: int, to_submit: int = 0,
+                            min_complete: int = 0, flags: int = 0):
+        ring = self._urings.get((task.pid, fd))
+        if ring is None:
+            raise KernelError(Errno.EBADF, f"fd {fd} is not an io_uring")
+        self._note_inode(ctx, task.fds.get(fd).inode, fd_based=True)
+        submitted = 0
+        if to_submit > 0 and ring.sq:
+            batch = ring.sq[:to_submit]
+            del ring.sq[:len(batch)]
+            submitted = len(batch)
+            ring.submitted += submitted
+            ring.inflight += submitted
+            self.uring_stats["sqes_submitted"] += submitted
+            chain: list[SQE] = []
+            for sqe in batch:
+                # The doorbell drains serially: each SQE gets its own
+                # submission timestamp (distinct per task, which the
+                # pipeline's exactly-once event key relies on).
+                yield self.env.timeout(URING_SQE_SUBMIT_NS)
+                sqe.submit_ns = self.env.now
+                chain.append(sqe)
+                if not sqe.flags & IOSQE_IO_LINK:
+                    self.env.process(self._uring_dispatch(task, ring, chain))
+                    chain = []
+            if chain:  # trailing IO_LINK flag: still one chain
+                self.env.process(self._uring_dispatch(task, ring, chain))
+        if flags & IORING_ENTER_GETEVENTS and min_complete > 0:
+            # Wait for completions, but never for more than can still
+            # arrive (CQ-overflowed completions are gone for good).
+            while len(ring.cq) < min_complete and ring.inflight > 0:
+                waiter = self.env.event()
+                ring.waiters.append(waiter)
+                yield waiter
+        return submitted
+
+    def _uring_args(self, sqe: SQE) -> dict:
+        """Event args for one SQE, shaped like the classic syscall's."""
+        if sqe.opcode == URING_OP_WRITE:
+            return {"fd": sqe.fd, "data": sqe.payload or b"",
+                    "offset": sqe.offset}
+        if sqe.opcode == URING_OP_READ:
+            return {"fd": sqe.fd, "nbytes": sqe.nbytes,
+                    "offset": sqe.offset}
+        return {"fd": sqe.fd}
+
+    def _uring_dispatch(self, task: Task, ring: IoUring, chain: list):
+        """Process: execute one linked chain of SQEs sequentially.
+
+        Independent chains run as independent processes, so their
+        completions interleave by device timing — the reordering the
+        DST corpus scenario pins down.  A mid-chain error cancels the
+        remainder of the chain with ``-ECANCELED``.
+        """
+        failed = False
+        for sqe in chain:
+            ctx = SyscallContext(URING_OP_EVENTS[sqe.opcode], task,
+                                 self._uring_args(sqe),
+                                 enter_ns=sqe.submit_ns)
+            if failed:
+                self.uring_stats["chain_cancellations"] += 1
+                res = -int(Errno.ECANCELED)
+            else:
+                res = yield from self._uring_execute(task, ring, sqe, ctx)
+                if res < 0:
+                    failed = True
+            ctx.retval = res
+            ctx.exit_ns = self.env.now
+            self._uring_complete(task, ring, sqe, ctx, res)
+
+    def _uring_execute(self, task: Task, ring: IoUring, sqe: SQE,
+                       ctx: SyscallContext):
+        """Dispatch one SQE through the VFS/page-cache/device layers."""
+        try:
+            if sqe.flags & IOSQE_FIXED_FILE:
+                table = ring.registered_files
+                if table is None or not 0 <= sqe.fd < len(table):
+                    raise KernelError(Errno.EBADF,
+                                      f"fixed file index {sqe.fd}")
+                description = table[sqe.fd]
+            else:
+                description = task.fds.get(sqe.fd)
+            if (sqe.buf_index is not None
+                    and (ring.registered_buffers is None
+                         or not 0 <= sqe.buf_index
+                         < ring.registered_buffers)):
+                raise KernelError(Errno.EINVAL,
+                                  f"buffer index {sqe.buf_index}")
+            inode = description.inode
+            io = task.process.io
+            if sqe.opcode == URING_OP_READ:
+                if not description.readable:
+                    raise KernelError(Errno.EBADF, "not readable")
+                self._note_inode(ctx, inode, offset=sqe.offset)
+                data = inode.read_bytes(sqe.offset, sqe.nbytes)
+                yield from self._cache_for(inode).read(inode.ino,
+                                                       sqe.offset,
+                                                       len(data))
+                io.rchar += len(data)
+                return len(data)
+            if sqe.opcode == URING_OP_WRITE:
+                if not description.writable:
+                    raise KernelError(Errno.EBADF, "not writable")
+                self._note_inode(ctx, inode, offset=sqe.offset)
+                written = inode.write_bytes(sqe.offset, sqe.payload or b"",
+                                            self.env.now)
+                yield from self._cache_for(inode).write(inode.ino,
+                                                        sqe.offset, written)
+                io.wchar += written
+                return written
+            if sqe.opcode == URING_OP_FSYNC:
+                self._note_inode(ctx, inode)
+                yield from self._cache_for(inode).fsync(inode.ino)
+                return 0
+            raise KernelError(Errno.EINVAL, f"opcode {sqe.opcode!r}")
+        except KernelError as error:
+            return -int(error.errno)
+
+    def _uring_complete(self, task: Task, ring: IoUring, sqe: SQE,
+                        ctx: SyscallContext, res: int) -> None:
+        """Post the CQE, fire ring observers, wake GETEVENTS waiters."""
+        ring.inflight -= 1
+        ring.completed += 1
+        self.uring_stats["cqes_posted"] += 1
+        cqe = CQE(sqe.user_data, res)
+        if len(ring.cq) >= ring.cq_entries:
+            # Lost to the application (pre-5.5 overflow semantics) —
+            # but a kernel-side observer still sees the completion.
+            ring.cq_overflow += 1
+            self.uring_stats["cq_overflows"] += 1
+        else:
+            ring.cq.append(cqe)
+        for callback in self._uring_observers:
+            callback(ctx, sqe, cqe, ring)
+        if ring.waiters:
+            waiters, ring.waiters = ring.waiters, []
+            for waiter in waiters:
+                waiter.succeed()

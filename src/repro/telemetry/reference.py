@@ -29,6 +29,13 @@ _SECTIONS = (
     ("dio_ring_", "Per-CPU ring buffers",
      "The kernel→user-space handoff (§III-D): fixed-capacity per-CPU "
      "buffers whose discards the paper measures at 3.5% under load."),
+    ("dio_uring_", "io_uring visibility",
+     "The ring-aware tracer mode: SQE/CQE lifecycle counters from the "
+     "kernel's io_uring model, plus the per-op completion events the "
+     "classic (enter-only) mode cannot see.  The gap between "
+     "``dio_uring_cqes_posted_total`` and "
+     "``dio_uring_events_observed_total`` is the blind spot, in "
+     "metric form."),
     ("dio_consumer_", "Consumer",
      "The single user-space consumer process: batching, parsing, "
      "staging, backpressure, and backoff."),

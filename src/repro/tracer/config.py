@@ -12,7 +12,7 @@ import dataclasses
 import tomllib
 from typing import Optional
 
-from repro.kernel.syscalls import SYSCALLS
+from repro.kernel.syscalls import ALL_SYSCALLS
 
 #: Supported consumer ingest paths: "vectorized" decodes ring batches
 #: into columnar RecordBatch lanes shipped via ``bulk_columnar``;
@@ -36,14 +36,27 @@ STORAGE_MODES = ("segments", "jsonl")
 #: backend into every config parse.
 SHARD_KEYS = ("file_tag", "pid", "time_window")
 
+#: How the tracer sees io_uring traffic: "classic" observes only the
+#: ``io_uring_enter``/``io_uring_setup``/``io_uring_register`` syscalls
+#: (the strace blind spot — one enter event per submitted batch,
+#: nothing per SQE); "ring-aware" additionally hooks the kernel's
+#: CQE-post path and emits one ``uring_read``/``uring_write``/
+#: ``uring_fsync`` event per completed SQE into the normal pipeline.
+RING_MODES = ("classic", "ring-aware")
+
 
 @dataclasses.dataclass
 class TracerConfig:
     """All knobs of the DIO tracer."""
 
     # -- tracing scope (paper §II-B) -----------------------------------
-    #: Syscalls to enable tracepoints for; ``None`` = all 42 supported.
+    #: Syscalls to enable tracepoints for; ``None`` = all supported
+    #: (the 42 of Table I plus the three ``io_uring_*`` calls).
     syscalls: Optional[frozenset[str]] = None
+    #: io_uring visibility: "classic" (syscall tracepoints only — the
+    #: per-SQE blind spot) or "ring-aware" (kernel CQE observer emits
+    #: per-op ``uring_*`` events into the same pipeline).
+    ring_mode: str = "classic"
     #: Only record events from these PIDs (``None`` = no PID filter).
     pids: Optional[frozenset[int]] = None
     #: Only record events from these TIDs (``None`` = no TID filter).
@@ -153,9 +166,13 @@ class TracerConfig:
     def __post_init__(self) -> None:
         if self.syscalls is not None:
             self.syscalls = frozenset(self.syscalls)
-            unknown = self.syscalls - SYSCALLS
+            unknown = self.syscalls - ALL_SYSCALLS
             if unknown:
                 raise ValueError(f"unsupported syscalls: {sorted(unknown)}")
+        if self.ring_mode not in RING_MODES:
+            raise ValueError(
+                f"unknown ring mode {self.ring_mode!r};"
+                " pick 'classic' or 'ring-aware'")
         if self.pids is not None:
             self.pids = frozenset(self.pids)
         if self.tids is not None:
@@ -215,7 +232,8 @@ class TracerConfig:
     @property
     def enabled_syscalls(self) -> frozenset[str]:
         """The syscalls whose tracepoints will be enabled."""
-        return self.syscalls if self.syscalls is not None else frozenset(SYSCALLS)
+        return (self.syscalls if self.syscalls is not None
+                else frozenset(ALL_SYSCALLS))
 
     @classmethod
     def from_toml(cls, text: str) -> "TracerConfig":
@@ -266,6 +284,8 @@ class TracerConfig:
             kwargs["paths"] = tuple(tracer["paths"])
         if "session_name" in tracer:
             kwargs["session_name"] = tracer["session_name"]
+        if "ring_mode" in tracer:
+            kwargs["ring_mode"] = str(tracer["ring_mode"])
         if "capacity_mib_per_cpu" in ring:
             kwargs["ring_capacity_bytes_per_cpu"] = (
                 int(ring["capacity_mib_per_cpu"]) * 1024 * 1024)

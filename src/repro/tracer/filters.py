@@ -29,11 +29,17 @@ _PATH_ARG_SYSCALLS = frozenset({
     "getxattr", "lgetxattr", "setxattr", "lsetxattr", "listxattr",
     "llistxattr", "removexattr", "lremovexattr",
 })
-#: Syscalls whose first argument is a file descriptor.
+#: Syscalls whose first argument is a file descriptor.  The ``uring_*``
+#: per-op events of the ring-aware tracer mode carry the SQE's fd and
+#: filter exactly like their classic counterparts (for plain fds —
+#: ``IOSQE_FIXED_FILE`` indexes the registered-file table instead, and
+#: those indexes are never in the tracked-fd map, so fixed-file ops
+#: fall outside path scopes; the io_uring_* control syscalls do too).
 _FD_ARG_SYSCALLS = frozenset({
     "close", "read", "pread64", "readv", "write", "pwrite64", "writev",
     "lseek", "ftruncate", "fsync", "fdatasync", "fstat", "fstatfs",
     "fgetxattr", "fsetxattr", "flistxattr", "fremovexattr",
+    "uring_read", "uring_write", "uring_fsync",
 })
 #: Syscalls carrying two paths (either matching passes the filter).
 _RENAME_SYSCALLS = frozenset({"rename", "renameat", "renameat2"})

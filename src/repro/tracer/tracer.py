@@ -97,6 +97,11 @@ class TracerStats:
         return self._tracer.filter.rejected
 
     @property
+    def uring_observed(self) -> int:
+        """Per-SQE ring events captured (ring-aware mode only)."""
+        return int(self._tracer._m_uring_observed.value)
+
+    @property
     def shipped(self) -> int:
         """Events indexed at the backend."""
         return int(self._tracer._m_shipped.value)
@@ -237,6 +242,42 @@ class DIOTracer:
             "dio_ingest_events_total",
             "Events decoded by the consumer, by ingest path.",
             labelnames=("mode",)).labels(mode=self.config.ingest_mode)
+        # io_uring visibility.  The kernel-side lifecycle counters are
+        # bound unconditionally (they read the kernel's own tallies);
+        # the observed counter only moves in ring-aware mode — the gap
+        # between cqes_posted and events_observed IS the classic
+        # tracer's blind spot, in metric form.
+        self._m_uring_observed = registry.counter(
+            "dio_uring_events_observed_total",
+            "Per-SQE completion events captured by the ring-aware "
+            "tracer mode; stays zero in classic mode (the io_uring "
+            "blind spot).")
+        registry.counter(
+            "dio_uring_setups_total",
+            "io_uring instances created via io_uring_setup.",
+        ).set_function(lambda: self.kernel.uring_stats["setups"])
+        registry.counter(
+            "dio_uring_sqes_submitted_total",
+            "Submission-queue entries moved into the kernel by "
+            "io_uring_enter.",
+        ).set_function(lambda: self.kernel.uring_stats["sqes_submitted"])
+        registry.counter(
+            "dio_uring_cqes_posted_total",
+            "Completion-queue entries posted by the kernel (includes "
+            "completions lost to CQ overflow).",
+        ).set_function(lambda: self.kernel.uring_stats["cqes_posted"])
+        registry.counter(
+            "dio_uring_cq_overflows_total",
+            "Completions dropped because the completion queue was "
+            "full (lost to the application, still observed by the "
+            "ring-aware tracer).",
+        ).set_function(lambda: self.kernel.uring_stats["cq_overflows"])
+        registry.counter(
+            "dio_uring_chain_cancellations_total",
+            "Linked-SQE chain members cancelled (-ECANCELED) after a "
+            "mid-chain error.",
+        ).set_function(
+            lambda: self.kernel.uring_stats["chain_cancellations"])
 
         #: Resilience state of the shipping hop (see module docstring).
         self._backoff = DecorrelatedJitterBackoff(
@@ -329,6 +370,7 @@ class DIOTracer:
         self._running = False
         self._consumer = None
         self._consume_cursor = 0
+        self._uring_observing = False
         self.correlation_report: Optional[CorrelationReport] = None
         self.stats = TracerStats(self)
 
@@ -342,6 +384,9 @@ class DIOTracer:
         for syscall in sorted(self.config.enabled_syscalls):
             self._enter_prog.attach(self.kernel.tracepoints, syscall)
             self._exit_prog.attach(self.kernel.tracepoints, syscall)
+        if self.config.ring_mode == "ring-aware":
+            self.kernel.add_uring_observer(self._on_uring_complete)
+            self._uring_observing = True
         self.store.ensure_index(
             self.config.index,
             indexed_fields=("syscall", "proc_name", "pid", "tid",
@@ -355,6 +400,9 @@ class DIOTracer:
             return
         self._enter_prog.detach_all()
         self._exit_prog.detach_all()
+        if self._uring_observing:
+            self.kernel.remove_uring_observer(self._on_uring_complete)
+            self._uring_observing = False
         self._running = False
 
     def drain(self):
@@ -472,6 +520,39 @@ class DIOTracer:
         size = estimate_record_size(ctx.name, ctx.args)
         self.ring.produce(ctx.task.cpu, record, size)
         return ENRICHMENT_COST_NS if enrichment else None
+
+    def _on_uring_complete(self, ctx: SyscallContext, sqe, cqe,
+                           ring) -> None:
+        """Ring-aware mode: one event per completed SQE.
+
+        Hooked on the kernel's CQE-post path (not a syscall
+        tracepoint): ``ctx`` is the synthetic per-op context the
+        kernel dispatch built, with the SQE's submission timestamp as
+        entry and the completion as exit.  From here the record rides
+        the normal pipeline — filters, enrichment, ring buffers,
+        consumer, store — indistinguishable from a syscall event
+        except for its ``uring_*`` name.  Completion hooks charge no
+        synchronous cost to the application (the asynchrony is the
+        point of io_uring); the ingest-overhead gate is enforced by
+        ``benchmarks/test_uring.py``.
+        """
+        if not self.filter.accepts(ctx):
+            return
+        enrichment = self.enricher.enrich(ctx)
+        record = {
+            "syscall": ctx.name,
+            "args": ctx.args,
+            "ret": ctx.retval,
+            "pid": ctx.pid,
+            "tid": ctx.tid,
+            "comm": ctx.comm,
+            "enter_ns": ctx.enter_ns,
+            "exit_ns": ctx.exit_ns,
+            **enrichment,
+        }
+        size = estimate_record_size(ctx.name, ctx.args)
+        self.ring.produce(ctx.task.cpu, record, size)
+        self._m_uring_observed.inc()
 
     # ------------------------------------------------------------------
     # User space (consumer process)

@@ -6,8 +6,9 @@ from repro.kernel import (Kernel, O_APPEND, O_CREAT, O_EXCL, O_RDONLY,
                           O_RDWR, O_TRUNC, O_WRONLY, SEEK_CUR, SEEK_END,
                           SEEK_SET, SYSCALLS)
 from repro.kernel.errno import Errno
-from repro.kernel.syscalls import (DATA_SYSCALLS, DIRECTORY_SYSCALLS,
-                                   METADATA_SYSCALLS, S_IFIFO, S_IFSOCK,
+from repro.kernel.syscalls import (ALL_SYSCALLS, DATA_SYSCALLS,
+                                   DIRECTORY_SYSCALLS, METADATA_SYSCALLS,
+                                   S_IFIFO, S_IFSOCK, URING_SYSCALLS,
                                    XATTR_SYSCALLS, AT_REMOVEDIR,
                                    syscall_category)
 from repro.sim import Environment
@@ -46,13 +47,22 @@ class TestTableISyscallSet:
         assert syscall_category("stat") == "metadata"
         assert syscall_category("getxattr") == "extended attributes"
         assert syscall_category("mkdir") == "directory management"
+        assert syscall_category("io_uring_enter") == "io_uring"
         with pytest.raises(ValueError):
             syscall_category("clone")
+
+    def test_uring_surface_kept_outside_table1(self):
+        # Table I stays at 42: the ring control syscalls live in their
+        # own set so classic-set consumers (and anything seeded from
+        # it) are unchanged.
+        assert len(URING_SYSCALLS) == 3
+        assert not URING_SYSCALLS & SYSCALLS
+        assert ALL_SYSCALLS == SYSCALLS | URING_SYSCALLS
 
     def test_every_syscall_has_an_implementation(self):
         env = Environment()
         kernel = Kernel(env)
-        for name in SYSCALLS:
+        for name in ALL_SYSCALLS:
             assert hasattr(kernel, f"_sys_{name}"), name
 
     def test_unknown_syscall_rejected(self, setup):

@@ -290,4 +290,4 @@ class TestDiagnosisTap:
         names = [d.name for d in detectors]
         assert names == ["stale-offset-resume", "fd-leak",
                          "io-contention", "latency-spike-blame",
-                         "write-amplification"]
+                         "write-amplification", "uring-completion-lag"]

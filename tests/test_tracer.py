@@ -367,7 +367,25 @@ class TestConfig:
         assert config.correlate_on_stop is False
 
     def test_default_enables_all_42(self):
-        assert len(TracerConfig().enabled_syscalls) == 42
+        # The 42 classic syscalls of Table I plus the three io_uring
+        # control syscalls.
+        enabled = TracerConfig().enabled_syscalls
+        assert len(enabled) == 45
+        assert {"io_uring_setup", "io_uring_enter",
+                "io_uring_register"} <= enabled
+
+    def test_ring_mode_validation(self):
+        assert TracerConfig().ring_mode == "classic"
+        assert TracerConfig(ring_mode="ring-aware").ring_mode == "ring-aware"
+        with pytest.raises(ValueError):
+            TracerConfig(ring_mode="io_uring")
+
+    def test_ring_mode_from_toml(self):
+        config = TracerConfig.from_toml("""
+            [tracer]
+            ring_mode = "ring-aware"
+        """)
+        assert config.ring_mode == "ring-aware"
 
 
 class TestEventModel:
